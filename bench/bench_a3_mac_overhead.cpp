@@ -1,0 +1,85 @@
+// Ablation A3: MAC regime vs beam-switching overhead.
+//
+// At gigabit link rates a 96-bit identifier takes ~0.4 us of air time, so
+// the reader's beam-switching dead-time — 100 us for a mechanically swept
+// horn, ~1 us for an electronically steered array — decides which MAC wins:
+// per-beam batch contention (Aloha) amortizes switches over all tags in a
+// beam; per-tag polling pays one switch per tag but never collides. This
+// bench sweeps the overhead and reports both, quantifying the crossover
+// (a consequence of the paper's Gbps rates that UHF RFID never faced).
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "src/mac/inventory.hpp"
+#include "src/mac/polling.hpp"
+#include "src/phys/constants.hpp"
+#include "src/phys/units.hpp"
+#include "src/sim/rng.hpp"
+#include "src/sim/table.hpp"
+
+namespace {
+
+std::vector<mmtag::core::MmTag> arc_tags(int count, double radius_m) {
+  using namespace mmtag;
+  std::vector<core::MmTag> tags;
+  for (int i = 0; i < count; ++i) {
+    const double bearing =
+        phys::deg_to_rad(-55.0 + 110.0 * i / std::max(1, count - 1));
+    const channel::Vec2 pos{radius_m * std::cos(bearing),
+                            radius_m * std::sin(bearing)};
+    tags.push_back(core::MmTag::prototype_at(
+        core::Pose{pos, channel::bearing_rad(pos, {0.0, 0.0})},
+        static_cast<std::uint32_t>(i + 1)));
+  }
+  return tags;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mmtag;
+  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+
+  const auto reader =
+      reader::MmWaveReader::prototype_at(core::Pose{{0.0, 0.0}, 0.0});
+  const auto rates = phy::RateTable::mmtag_standard();
+  const auto codebook = antenna::uniform_codebook(
+      phys::deg_to_rad(-60.0), phys::deg_to_rad(60.0), 17.0);
+  const auto tags = arc_tags(32, phys::feet_to_m(4.0));
+  const channel::Environment env;
+
+  sim::Table table({"switch_overhead_us", "aloha_ms", "polling_ms",
+                    "winner"});
+  for (const double overhead_us : {0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0,
+                                   100.0}) {
+    auto rng = sim::make_rng(8000 + static_cast<unsigned>(overhead_us * 10));
+    mac::InventoryConfig aloha_config;
+    aloha_config.beam_switch_overhead_s = overhead_us * 1e-6;
+    mac::SdmInventory aloha(reader, rates, aloha_config);
+    const double aloha_s =
+        aloha.run(codebook, tags, env, rng).total_time_s;
+
+    mac::PollingConfig polling_config;
+    polling_config.beam_switch_overhead_s = overhead_us * 1e-6;
+    mac::PollingScheduler polling(reader, rates, polling_config);
+    const double polling_s = polling.run_round(tags, env).total_time_s;
+
+    table.add_row({sim::Table::fmt(overhead_us, 1),
+                   sim::Table::fmt(aloha_s * 1e3, 3),
+                   sim::Table::fmt(polling_s * 1e3, 3),
+                   polling_s < aloha_s ? "polling" : "aloha"});
+  }
+  if (csv) {
+    std::fputs(table.to_csv().c_str(), stdout);
+    return 0;
+  }
+  table.print("A3 — Aloha (discovery) vs polling (steady state), 32 tags "
+              "at 4 ft, vs beam-switch overhead");
+  std::printf(
+      "\nWith electronic steering (microseconds) collision-free polling "
+      "wins; with a mechanically swept horn (the prototype's regime) "
+      "switching dominates and batching tags per beam via Aloha is "
+      "faster.\n");
+  return 0;
+}

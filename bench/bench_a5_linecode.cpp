@@ -1,0 +1,88 @@
+// Ablation A5: line-coding choices for OOK backscatter.
+//
+// Manchester (used throughout this repo, and by most backscatter systems)
+// guarantees an edge per bit but halves the rate. FM0 (EPC RFID) costs the
+// same 2x but self-clocks differently. Scrambled NRZ keeps the full rate
+// with only statistical run-length bounds. This bench measures the real
+// quantities behind the choice: rate efficiency, worst-case run length
+// (the blind OOK threshold estimator and the tag's dc balance both care),
+// and the net goodput each coding achieves on a healthy 2 GHz link.
+#include <cstdio>
+#include <cstring>
+
+#include "src/phy/fm0.hpp"
+#include "src/phy/line_code.hpp"
+#include "src/phy/scrambler.hpp"
+#include "src/sim/rng.hpp"
+#include "src/sim/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mmtag;
+  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+
+  auto rng = sim::make_rng(9000);
+  std::bernoulli_distribution coin(0.5);
+
+  // Worst-case and random payloads.
+  const phy::BitVector all_ones(8192, true);
+  phy::BitVector random_bits(8192);
+  for (std::size_t i = 0; i < random_bits.size(); ++i) {
+    random_bits[i] = coin(rng);
+  }
+
+  struct Row {
+    const char* name;
+    double rate_efficiency;
+    std::size_t worst_run_ones;
+    std::size_t worst_run_random;
+    const char* clock_recovery;
+  };
+
+  phy::Scrambler scrambler_ones;
+  phy::Scrambler scrambler_random;
+  const phy::BitVector scrambled_ones = scrambler_ones.scramble(all_ones);
+  const phy::BitVector scrambled_random =
+      scrambler_random.scramble(random_bits);
+
+  const Row rows[] = {
+      {"NRZ (none)", 1.0, phy::Scrambler::longest_run(all_ones),
+       phy::Scrambler::longest_run(random_bits), "none (fails on runs)"},
+      {"Manchester", 0.5,
+       phy::Scrambler::longest_run(phy::manchester_encode(all_ones)),
+       phy::Scrambler::longest_run(phy::manchester_encode(random_bits)),
+       "guaranteed edge/bit"},
+      {"FM0 (EPC)", 0.5,
+       phy::Scrambler::longest_run(phy::fm0_encode(all_ones)),
+       phy::Scrambler::longest_run(phy::fm0_encode(random_bits)),
+       "guaranteed edge/bit"},
+      {"Scrambled NRZ", 1.0, phy::Scrambler::longest_run(scrambled_ones),
+       phy::Scrambler::longest_run(scrambled_random),
+       "statistical (PRBS-15)"},
+  };
+
+  sim::Table table({"coding", "rate_eff", "goodput_2ghz",
+                    "worst_run_ones", "worst_run_random",
+                    "clock_recovery"});
+  for (const Row& row : rows) {
+    // Goodput in the 2 GHz tier: chip rate 1 Gchip/s times rate
+    // efficiency (framing/ARQ taxes identical across codings).
+    table.add_row({row.name, sim::Table::fmt(row.rate_efficiency, 2),
+                   sim::Table::fmt_rate(1e9 * row.rate_efficiency),
+                   std::to_string(row.worst_run_ones),
+                   std::to_string(row.worst_run_random),
+                   row.clock_recovery});
+  }
+  if (csv) {
+    std::fputs(table.to_csv().c_str(), stdout);
+    return 0;
+  }
+  table.print("A5 — line coding for OOK backscatter (8192-bit payloads)");
+  std::printf(
+      "\nScrambled NRZ doubles the goodput of the Manchester baseline and "
+      "keeps runs short *statistically* (max run %zu on all-ones data) — "
+      "but an adversarial payload aligned with the PRBS could still starve "
+      "the tag of edges. Manchester/FM0 pay 2x for a hard guarantee; a "
+      "production design would pick scrambling plus a run-length escape.\n",
+      phy::Scrambler::longest_run(scrambled_ones));
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Claim C2 (paper Sec. 5.2, Fig. 3): the Van Atta tag reflects back to the
+// direction of arrival for ANY incidence angle, while a fixed-beam tag
+// (Kimionis et al. [18]) and an ordinary specular reflector collapse
+// off-axis.
+//
+// Sweeps the incidence angle and prints the monostatic response of all
+// three reflectors plus the direction error of the Van Atta's re-radiated
+// peak.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "src/baselines/fixed_beam_tag.hpp"
+#include "src/baselines/specular_plate.hpp"
+#include "src/core/van_atta.hpp"
+#include "src/phys/units.hpp"
+#include "src/sim/ascii_plot.hpp"
+#include "src/sim/sweep.hpp"
+#include "src/sim/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mmtag;
+  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+
+  const core::VanAttaArray van_atta = core::VanAttaArray::mmtag_prototype();
+  const baselines::FixedBeamTag fixed =
+      baselines::FixedBeamTag::like_mmtag_prototype();
+  const baselines::SpecularPlate plate =
+      baselines::SpecularPlate::like_mmtag_prototype();
+
+  sim::Table table({"incidence_deg", "van_atta_db", "fixed_beam_db",
+                    "plate_db", "retro_peak_error_deg"});
+  std::vector<double> angle_axis;
+  sim::Series va_series{"Van Atta", {}, 'v'};
+  sim::Series fixed_series{"fixed beam", {}, 'f'};
+  for (const double deg : sim::linspace(-60.0, 60.0, 25)) {
+    const double theta = phys::deg_to_rad(deg);
+    const double peak_deg =
+        phys::rad_to_deg(van_atta.peak_reradiation_direction_rad(theta));
+    const double va_db = van_atta.monostatic_gain_db(theta);
+    const double fixed_db = fixed.monostatic_gain_db(theta);
+    table.add_row({sim::Table::fmt(deg, 0), sim::Table::fmt(va_db, 1),
+                   sim::Table::fmt(fixed_db, 1),
+                   sim::Table::fmt(plate.monostatic_gain_db(theta), 1),
+                   sim::Table::fmt(peak_deg - deg, 2)});
+    angle_axis.push_back(deg);
+    va_series.y.push_back(va_db);
+    fixed_series.y.push_back(std::max(fixed_db, -40.0));  // Clip for scale.
+  }
+
+  if (csv) {
+    std::fputs(table.to_csv().c_str(), stdout);
+    return 0;
+  }
+  table.print("C2 — monostatic response vs incidence (retrodirectivity)");
+
+  sim::PlotOptions plot;
+  plot.x_label = "incidence (deg)";
+  plot.y_label = "monostatic gain dB, fixed-beam clipped at -40";
+  plot.height = 14;
+  std::printf("\n%s", sim::ascii_plot(angle_axis, {va_series, fixed_series},
+                                      plot)
+                          .c_str());
+
+  const double va0 = van_atta.monostatic_gain_db(0.0);
+  const double va45 = van_atta.monostatic_gain_db(phys::deg_to_rad(45.0));
+  const double fx45 = fixed.monostatic_gain_db(phys::deg_to_rad(45.0));
+  std::printf(
+      "\nAt 45 deg incidence the Van Atta loses %.1f dB from boresight; the "
+      "fixed-beam tag sits %.1f dB below it — the beam-alignment problem, "
+      "solved passively.\n",
+      va0 - va45, va45 - fx45);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Claim C3 (paper Secs. 1 & 3): rate comparison against every backscatter
+// system the paper cites — RFID (< 1 Mbps), Wi-Fi backscatter (~kbps),
+// HitchHike (0.3 Mbps), BackFi (5 Mbps @ 3 ft) — all through the same
+// two-way link evaluation at BER 1e-3.
+#include <cstdio>
+#include <cstring>
+
+#include "src/baselines/backscatter_system.hpp"
+#include "src/phy/rate_table.hpp"
+#include "src/phys/units.hpp"
+#include "src/sim/table.hpp"
+
+namespace {
+
+// The legacy systems have standard-fixed channel widths; the mmTag reader
+// adapts its bandwidth tier with range (Fig. 7), so its row uses the
+// adaptive rate table on the same link budget.
+double rate_at(const mmtag::baselines::BackscatterSystem& sys,
+               double range_m, bool adaptive) {
+  if (!adaptive) return sys.achievable_rate_bps(range_m);
+  const auto table = mmtag::phy::RateTable::mmtag_standard();
+  return table.achievable_rate_bps(sys.budget.received_power_dbm(range_m));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mmtag;
+  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+
+  sim::Table table({"system", "band", "rate_3ft", "rate_4ft", "rate_10ft",
+                    "max_range_ft"});
+  const auto systems = baselines::all_systems();
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    const auto& sys = systems[i];
+    const bool adaptive = i + 1 == systems.size();  // mmTag is last.
+    const double f_ghz = sys.budget.frequency_hz / 1e9;
+    char band[32];
+    std::snprintf(band, sizeof(band), "%.2f GHz", f_ghz);
+    table.add_row(
+        {sys.name, band,
+         sim::Table::fmt_rate(rate_at(sys, phys::feet_to_m(3.0), adaptive)),
+         sim::Table::fmt_rate(rate_at(sys, phys::feet_to_m(4.0), adaptive)),
+         sim::Table::fmt_rate(rate_at(sys, phys::feet_to_m(10.0), adaptive)),
+         sim::Table::fmt(phys::m_to_feet(sys.max_range_m()), 0)});
+  }
+  if (csv) {
+    std::fputs(table.to_csv().c_str(), stdout);
+    return 0;
+  }
+  table.print("C3 — backscatter systems at the same BER target");
+
+  const auto mmtag_sys = baselines::mmtag_system();
+  const auto backfi_sys = baselines::backfi();
+  std::printf(
+      "\nmmTag at 3 ft delivers %.0fx BackFi's rate (paper: 'orders of "
+      "magnitude higher throughput').\n",
+      mmtag_sys.achievable_rate_bps(phys::feet_to_m(3.0)) /
+          backfi_sys.achievable_rate_bps(phys::feet_to_m(3.0)));
+  std::printf(
+      "Note the trade: legacy UHF systems keep their (low) rate much "
+      "farther out; mmTag converts its bandwidth advantage into rate at "
+      "room-scale ranges.\n");
+  return 0;
+}

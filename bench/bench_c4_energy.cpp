@@ -1,0 +1,92 @@
+// Claim C4 (paper Sec. 1): backscatter reduces IoT power "by orders of
+// magnitude", enough to run batteryless from harvested energy.
+//
+// Prints energy-per-bit for the mmTag prototype against active radios, and
+// the continuous bit rate each harvesting source can sustain.
+#include <cstdio>
+#include <cstring>
+
+#include "src/baselines/active_radio.hpp"
+#include "src/core/energy.hpp"
+#include "src/core/harvester.hpp"
+#include "src/sim/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mmtag;
+  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+
+  const core::TagEnergyModel tag = core::TagEnergyModel::mmtag_prototype();
+
+  sim::Table radios({"radio", "dc_power_w", "energy_per_bit_j",
+                     "vs_mmtag_tag"});
+  radios.add_row({"mmTag tag (6 FET switches, random data)",
+                  sim::Table::fmt(tag.modulation_power_w(1e9), 4),
+                  sim::Table::fmt_si(tag.energy_per_bit_j(), 2) + "J",
+                  "1x"});
+  for (const auto& radio : baselines::all_active_radios()) {
+    radios.add_row(
+        {radio.name, sim::Table::fmt(radio.dc_power_w, 3),
+         sim::Table::fmt_si(radio.energy_per_bit_j(), 2) + "J",
+         sim::Table::fmt(radio.energy_per_bit_j() / tag.energy_per_bit_j(),
+                         0) +
+             "x"});
+  }
+
+  sim::Table harvest({"source", "harvested_w", "sustained_rate"});
+  const struct {
+    core::HarvestSource source;
+    const char* name;
+  } kSources[] = {
+      {core::HarvestSource::kOutdoorLight, "outdoor light (small PV)"},
+      {core::HarvestSource::kThermal, "thermal gradient (TEG)"},
+      {core::HarvestSource::kIndoorLight, "indoor light (office PV)"},
+      {core::HarvestSource::kVibration, "vibration (piezo)"},
+      {core::HarvestSource::kRfAmbient, "ambient RF (rectenna)"},
+  };
+  for (const auto& entry : kSources) {
+    const double power = core::TagEnergyModel::harvested_power_w(entry.source);
+    harvest.add_row({entry.name, sim::Table::fmt_si(power, 2) + "W",
+                     sim::Table::fmt_rate(tag.max_bit_rate_bps(power))});
+  }
+
+  // Burst operation through the 100 uF storage cap: how "Gbps batteryless"
+  // actually runs when the harvester is weaker than the burst load.
+  sim::Table bursts({"source", "gbps_burst_ms", "recharge_ms",
+                     "duty_cycle", "effective_rate"});
+  for (const auto& entry : kSources) {
+    const core::EnergyHarvester cap =
+        core::EnergyHarvester::mmtag_with(entry.source);
+    const double load = tag.modulation_power_w(1e9);
+    const double burst = cap.max_burst_s(load);
+    const double duty = cap.duty_cycle(load);
+    bursts.add_row(
+        {entry.name,
+         std::isinf(burst) ? "cont." : sim::Table::fmt(burst * 1e3, 1),
+         std::isinf(cap.recharge_time_s())
+             ? "never"
+             : sim::Table::fmt(cap.recharge_time_s() * 1e3, 1),
+         sim::Table::fmt(duty, 4),
+         sim::Table::fmt_rate(tag.energy_per_bit_j() > 0.0
+                                  ? cap.effective_throughput_bps(1e9, tag)
+                                  : 0.0)});
+  }
+
+  if (csv) {
+    std::fputs(radios.to_csv().c_str(), stdout);
+    std::fputs(harvest.to_csv().c_str(), stdout);
+    std::fputs(bursts.to_csv().c_str(), stdout);
+    return 0;
+  }
+  radios.print("C4a — energy per bit: mmTag tag vs active radios");
+  std::printf("\n(The tag's 'dc_power_w' column is its modulation power at "
+              "1 Gbps; active radios are at their own peak rates.)\n");
+  harvest.print("C4b — batteryless operation from harvested energy "
+                "(60 x 45 mm tag, continuous modulation)");
+  bursts.print("C4c — Gbps bursts through a 100 uF storage capacitor");
+  std::printf(
+      "\nIndoor light sustains tens of Mbps continuously; at 1 Gbps the "
+      "tag bursts for ~45 ms and recharges for ~1.4 s (duty ~3%%) — "
+      "'batteryless at gigabit speeds' means gigabit *bursts*, with the "
+      "long-run average set by the harvester.\n");
+  return 0;
+}

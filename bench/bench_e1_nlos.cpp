@@ -1,0 +1,68 @@
+// Extension E1 (paper Sec. 4): NLOS fallback. A blocker walks through the
+// line of sight while the reader tracks the best available path; the link
+// should drop from its LOS rate to the wall-bounce rate and back, never to
+// zero.
+#include <cstdio>
+#include <cstring>
+
+#include "src/channel/mobility.hpp"
+#include "src/channel/raytrace.hpp"
+#include "src/core/tag.hpp"
+#include "src/phy/rate_table.hpp"
+#include "src/phys/constants.hpp"
+#include "src/phys/units.hpp"
+#include "src/reader/reader.hpp"
+#include "src/sim/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mmtag;
+  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+
+  const phy::RateTable rates = phy::RateTable::mmtag_standard();
+  const core::MmTag tag = core::MmTag::prototype_at(core::Pose{{0, 0}, 0.0});
+  auto reader = reader::MmWaveReader::prototype_at(
+      core::Pose{{phys::feet_to_m(3.0), 0.0}, phys::kPi});
+
+  // A person (0.2 m wide at mmWave-relevant cross-section) walks across the
+  // corridor at 1 m/s, crossing the LOS around t = 0.45 s.
+  const channel::LinearMobility walker({0.45, -0.45}, {0.0, 1.0});
+
+  sim::Table table({"t_s", "blocker_y", "path", "power_dbm", "rate"});
+  int nlos_steps = 0;
+  int dead_steps = 0;
+  for (int step = 0; step <= 18; ++step) {
+    const double t = step * 0.05;
+    const channel::Vec2 person = walker.position(t);
+    channel::Environment env;
+    env.add_wall(channel::Wall{channel::Segment{{-2, 0.3}, {2, 0.3}}, 0.15});
+    env.add_obstacle(channel::Obstacle{
+        channel::Segment{{person.x, person.y - 0.1},
+                         {person.x, person.y + 0.1}}});
+
+    // The reader re-aims at the strongest path each step (beam tracking).
+    const auto paths = channel::trace_paths(env, reader.pose().position,
+                                            tag.pose().position);
+    reader.steer_to_world(paths.front().departure_rad);
+    const auto link = reader.evaluate_link(tag, env, rates);
+
+    const bool nlos = link.path.kind == channel::PathKind::kReflected;
+    if (nlos) ++nlos_steps;
+    if (link.achievable_rate_bps == 0.0) ++dead_steps;
+    table.add_row({sim::Table::fmt(t, 2), sim::Table::fmt(person.y, 2),
+                   nlos ? "NLOS(wall)" : "LOS",
+                   sim::Table::fmt(link.received_power_dbm, 1),
+                   sim::Table::fmt_rate(link.achievable_rate_bps)});
+  }
+
+  if (csv) {
+    std::fputs(table.to_csv().c_str(), stdout);
+    return 0;
+  }
+  table.print("E1 — link vs time while a blocker crosses the LOS");
+  std::printf(
+      "\n%d of 19 steps rode the wall reflection; %d steps were dead. "
+      "Paper Sec. 4: 'when the LOS path is blocked, the tag and the reader "
+      "choose an NLOS path.'\n",
+      nlos_steps, dead_steps);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Extension E4 (paper Sec. 8's modeling shortcut): the paper converts
+// power to rate via "ASK requires SNR of 7 dB for BER 1e-3". This bench
+// runs real bits through the sample-level OOK modem at each SNR and prints
+// measured BER against the coherent and noncoherent closed forms, plus the
+// frame error rate through the full Manchester+CRC receive chain.
+#include <cstdio>
+#include <cstring>
+
+#include "src/phy/ber.hpp"
+#include "src/sim/link_sim.hpp"
+#include "src/sim/rng.hpp"
+#include "src/sim/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mmtag;
+  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+
+  sim::MonteCarloLink::Params params;
+  params.min_bits = 100'000;
+  const sim::MonteCarloLink link{params};
+
+  sim::Table table({"snr_db", "ber_measured", "ber_coherent_q",
+                    "ber_noncoherent", "fer_96bit"});
+  for (double snr = 0.0; snr <= 12.0; snr += 2.0) {
+    auto rng = sim::make_rng(3000 + static_cast<unsigned>(snr));
+    const auto measurement = link.measure_ber(snr, rng);
+    const double fer = link.measure_fer(snr, 60, 96, rng);
+    char measured[32];
+    std::snprintf(measured, sizeof(measured), "%.2e", measurement.ber());
+    char coherent[32];
+    std::snprintf(coherent, sizeof(coherent), "%.2e",
+                  phy::ook_coherent_ber(snr));
+    char noncoherent[32];
+    std::snprintf(noncoherent, sizeof(noncoherent), "%.2e",
+                  phy::ook_noncoherent_ber(snr));
+    table.add_row({sim::Table::fmt(snr, 0), measured, coherent, noncoherent,
+                   sim::Table::fmt(fer, 2)});
+  }
+
+  if (csv) {
+    std::fputs(table.to_csv().c_str(), stdout);
+    return 0;
+  }
+  table.print("E4 — waveform-level OOK BER vs the analytic forms");
+  std::printf(
+      "\nClosed-form check: coherent OOK needs %.1f dB average SNR for BER "
+      "1e-3; the paper's 7 dB figure is the peak-SNR convention (3 dB "
+      "apart). The rate table uses the paper's own constant.\n",
+      phy::ook_snr_for_ber_db(1e-3));
+  return 0;
+}

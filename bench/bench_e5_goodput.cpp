@@ -1,0 +1,64 @@
+// Extension E5: application-level goodput vs range.
+//
+// Fig. 7 reports raw rate tiers; a user moving real payloads pays framing,
+// Manchester, CRC failures and retransmissions. This bench runs the full
+// session stack (link -> BER -> FER -> ARQ -> fragmentation) across the
+// Fig. 7 range sweep and reports the *goodput* — plus the transfer time of
+// a 1 MB sensor blob, the number an application plans around.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "src/channel/environment.hpp"
+#include "src/core/tag.hpp"
+#include "src/net/session.hpp"
+#include "src/phys/constants.hpp"
+#include "src/phys/units.hpp"
+#include "src/reader/reader.hpp"
+#include "src/sim/sweep.hpp"
+#include "src/sim/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mmtag;
+  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+
+  const channel::Environment env;
+  const phy::RateTable rates = phy::RateTable::mmtag_standard();
+  const net::TransferSession session = net::TransferSession::mmtag_default();
+  const core::MmTag tag = core::MmTag::prototype_at(core::Pose{{0, 0}, 0.0});
+  constexpr std::size_t kMegabyte = 8ull * 1024 * 1024;
+
+  sim::Table table({"range_ft", "tier", "snr_db", "chip_ber",
+                    "frame_success", "goodput", "1MB_transfer"});
+  for (const double feet : sim::linspace(2.0, 12.0, 11)) {
+    const double d = phys::feet_to_m(feet);
+    const auto reader = reader::MmWaveReader::prototype_at(
+        core::Pose{{d, 0.0}, phys::kPi});
+    const auto link = reader.evaluate_link(tag, env, rates);
+    const net::SessionReport report = session.analyze(link, kMegabyte);
+    char ber_text[32];
+    std::snprintf(ber_text, sizeof(ber_text), "%.1e",
+                  report.chip_error_rate);
+    const double transfer_s = session.transfer_time_s(link, kMegabyte);
+    table.add_row(
+        {sim::Table::fmt(feet, 0), sim::Table::fmt_rate(report.link_rate_bps),
+         sim::Table::fmt(report.snr_db, 1), ber_text,
+         sim::Table::fmt(report.frame_success, 3),
+         sim::Table::fmt_rate(report.goodput_bps),
+         std::isinf(transfer_s) ? "never"
+                                : sim::Table::fmt(transfer_s * 1e3, 1) +
+                                      " ms"});
+  }
+  if (csv) {
+    std::fputs(table.to_csv().c_str(), stdout);
+    return 0;
+  }
+  table.print("E5 — application goodput vs range (framing + Manchester + "
+              "CRC + stop-and-wait ARQ)");
+  std::printf(
+      "\nGoodput runs ~34%% of the chip rate on a healthy link (Manchester "
+      "halves it, headers take the rest) and sags further right at each "
+      "tier edge where ARQ churns — the usable envelope behind Fig. 7's "
+      "raw tiers.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces paper Fig. 6: S11 of one tag antenna element vs frequency,
+// switch off (reflective) and switch on (absorptive).
+//
+// Paper readings: off-state dip of -15 dB at 24 GHz; on-state around -5 dB
+// at the carrier. Run with --csv for machine-readable output.
+#include <cstdio>
+#include <cstring>
+
+#include "src/em/patch_element.hpp"
+#include "src/phys/constants.hpp"
+#include "src/phys/units.hpp"
+#include "src/sim/ascii_plot.hpp"
+#include "src/sim/sweep.hpp"
+#include "src/sim/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mmtag;
+  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+
+  const em::PatchElement element = em::PatchElement::mmtag();
+  sim::Table table({"freq_ghz", "s11_off_db", "s11_on_db"});
+  std::vector<double> freq_axis;
+  sim::Series off_series{"switch off", {}, 'o'};
+  sim::Series on_series{"switch on", {}, 'x'};
+  for (const double f_ghz : sim::linspace(23.5, 24.5, 41)) {
+    const double f = phys::ghz(f_ghz);
+    const double off = element.s11_db(em::SwitchState::kOff, f);
+    const double on = element.s11_db(em::SwitchState::kOn, f);
+    table.add_row({sim::Table::fmt(f_ghz, 3), sim::Table::fmt(off),
+                   sim::Table::fmt(on)});
+    freq_axis.push_back(f_ghz);
+    off_series.y.push_back(off);
+    on_series.y.push_back(on);
+  }
+  if (csv) {
+    std::fputs(table.to_csv().c_str(), stdout);
+    return 0;
+  }
+  table.print("Fig. 6 — element S11 vs frequency (switch off / on)");
+
+  sim::PlotOptions plot;
+  plot.x_label = "frequency (GHz)";
+  plot.y_label = "S11 dB";
+  plot.height = 14;
+  std::printf("\n%s", sim::ascii_plot(freq_axis, {off_series, on_series},
+                                      plot)
+                          .c_str());
+
+  const double carrier = phys::kMmTagCarrierHz;
+  std::printf(
+      "\nAt the 24 GHz carrier: off = %.2f dB (paper: -15 dB), "
+      "on = %.2f dB (paper: ~-5 dB)\n",
+      element.s11_db(em::SwitchState::kOff, carrier),
+      element.s11_db(em::SwitchState::kOn, carrier));
+  std::printf("Element modulation depth at carrier: %.2f dB\n",
+              element.modulation_depth_db(carrier));
+  return 0;
+}

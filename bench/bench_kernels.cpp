@@ -1,0 +1,109 @@
+// google-benchmark microbenchmarks of the library's hot kernels: the costs
+// a downstream user pays per simulation step.
+#include <benchmark/benchmark.h>
+
+#include "src/antenna/ula.hpp"
+#include "src/channel/raytrace.hpp"
+#include "src/core/van_atta.hpp"
+#include "src/mac/aloha.hpp"
+#include "src/phy/ook.hpp"
+#include "src/phy/waveform.hpp"
+#include "src/phys/constants.hpp"
+#include "src/sim/rng.hpp"
+
+namespace {
+
+using namespace mmtag;
+
+void BM_ArrayFactor(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto array =
+      antenna::UniformLinearArray::half_wavelength(n, phys::kMmTagCarrierHz);
+  const auto weights = antenna::uniform_weights(n);
+  double theta = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.array_factor(weights, theta));
+    theta += 1e-4;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ArrayFactor)->Arg(6)->Arg(16)->Arg(64);
+
+void BM_VanAttaMonostaticGain(benchmark::State& state) {
+  const auto array =
+      core::VanAttaArray::with_elements(static_cast<int>(state.range(0)));
+  double theta = -0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.monostatic_gain_db(theta));
+    theta += 1e-4;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VanAttaMonostaticGain)->Arg(6)->Arg(16)->Arg(64);
+
+void BM_RetroPeakSearch(benchmark::State& state) {
+  const auto array = core::VanAttaArray::mmtag_prototype();
+  double theta = -0.4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.peak_reradiation_direction_rad(theta));
+    theta += 0.01;
+    if (theta > 0.4) theta = -0.4;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RetroPeakSearch);
+
+void BM_OokModulateDemodulate(benchmark::State& state) {
+  const std::size_t bits_count = static_cast<std::size_t>(state.range(0));
+  auto rng = sim::make_rng(1);
+  std::bernoulli_distribution coin(0.5);
+  phy::BitVector bits(bits_count);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = coin(rng);
+  const phy::OokModulator mod(8);
+  const phy::OokDemodulator demod(8);
+  for (auto _ : state) {
+    phy::Waveform wave = mod.modulate(bits);
+    benchmark::DoNotOptimize(demod.demodulate(wave));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(bits_count));
+}
+BENCHMARK(BM_OokModulateDemodulate)->Arg(1024)->Arg(16384);
+
+void BM_AwgnChannel(benchmark::State& state) {
+  auto rng = sim::make_rng(2);
+  phy::Waveform wave(static_cast<std::size_t>(state.range(0)),
+                     phy::Complex(1.0, 0.0));
+  for (auto _ : state) {
+    phy::Waveform copy = wave;
+    phy::add_awgn(copy, 0.1, rng);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AwgnChannel)->Arg(4096);
+
+void BM_RayTraceOfficeRoom(benchmark::State& state) {
+  const auto office = channel::Environment::office_room();
+  double x = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        channel::trace_paths(office, {x, 1.0}, {4.0, 3.0}));
+    x = x > 3.0 ? 1.0 : x + 0.001;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RayTraceOfficeRoom);
+
+void BM_FramedAloha(benchmark::State& state) {
+  const int tags = static_cast<int>(state.range(0));
+  auto rng = sim::make_rng(3);
+  mac::AlohaConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mac::run_framed_aloha(tags, config, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * tags);
+}
+BENCHMARK(BM_FramedAloha)->Arg(16)->Arg(128);
+
+}  // namespace

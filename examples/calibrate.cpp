@@ -1,0 +1,68 @@
+// Calibration probe: prints the raw model outputs the paper's figures pin
+// down, so the calibrated constants in DESIGN.md Sec. 4 can be verified (or
+// re-derived) at any time. Not part of the documented examples; kept as a
+// maintenance tool.
+#include <cstdio>
+
+#include "src/baselines/fixed_beam_tag.hpp"
+#include "src/baselines/specular_plate.hpp"
+#include "src/channel/environment.hpp"
+#include "src/core/tag.hpp"
+#include "src/core/van_atta.hpp"
+#include "src/em/patch_element.hpp"
+#include "src/phy/rate_table.hpp"
+#include "src/phys/constants.hpp"
+#include "src/phys/units.hpp"
+#include "src/reader/reader.hpp"
+#include "src/sim/table.hpp"
+
+int main() {
+  using namespace mmtag;
+
+  // --- Fig. 6: S11 of one element, switch off vs on.
+  const em::PatchElement element = em::PatchElement::mmtag();
+  for (double f_ghz : {23.5, 23.75, 24.0, 24.25, 24.5}) {
+    const double f = phys::ghz(f_ghz);
+    std::printf("S11 @ %.2f GHz: off=%.2f dB  on=%.2f dB\n", f_ghz,
+                element.s11_db(em::SwitchState::kOff, f),
+                element.s11_db(em::SwitchState::kOn, f));
+  }
+
+  // --- Tag array properties.
+  core::VanAttaArray array = core::VanAttaArray::mmtag_prototype();
+  std::printf("retro beamwidth @0deg: %.2f deg\n",
+              array.retro_beamwidth_deg(0.0));
+  for (double deg : {0.0, 15.0, 30.0, 45.0, 60.0}) {
+    const double theta = phys::deg_to_rad(deg);
+    std::printf("mono gain @%2.0f deg: VanAtta=%.2f dB  fixed=%.2f dB  "
+                "plate=%.2f dB | retro peak dir=%.2f deg\n",
+                deg, array.monostatic_gain_db(theta),
+                baselines::FixedBeamTag::like_mmtag_prototype()
+                    .monostatic_gain_db(theta),
+                baselines::SpecularPlate::like_mmtag_prototype()
+                    .monostatic_gain_db(theta),
+                phys::rad_to_deg(array.peak_reradiation_direction_rad(theta)));
+  }
+
+  // --- Fig. 7: received power vs range.
+  const channel::Environment empty_env;
+  const phy::RateTable rates = phy::RateTable::mmtag_standard();
+  core::MmTag tag = core::MmTag::prototype_at(
+      core::Pose{{0.0, 0.0}, 0.0});
+  for (double feet : {2.0, 4.0, 6.0, 8.0, 10.0, 12.0}) {
+    const double d = phys::feet_to_m(feet);
+    core::Pose reader_pose{{d, 0.0}, phys::kPi};  // Facing the tag.
+    const auto reader = reader::MmWaveReader::prototype_at(reader_pose);
+    const auto link = reader.evaluate_link(tag, empty_env, rates);
+    std::printf("range %4.1f ft: P=%.2f dBm depth=%.2f dB rate=%s\n", feet,
+                link.received_power_dbm, link.modulation_depth_db,
+                mmtag::sim::Table::fmt_rate(link.achievable_rate_bps).c_str());
+  }
+
+  // --- Noise floors (paper footnote 4).
+  const phys::NoiseModel noise = phys::NoiseModel::mmtag_reader();
+  std::printf("noise floors: 2GHz=%.2f  200MHz=%.2f  20MHz=%.2f dBm\n",
+              noise.power_dbm(phys::ghz(2)), noise.power_dbm(phys::mhz(200)),
+              noise.power_dbm(phys::mhz(20)));
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Forklift tracking: the scenario engine end to end.
+//
+// A tag is bolted to a forklift, boresight forward. The Van Atta array
+// self-aligns across its entire front half-plane (the paper's point), but
+// physics still rules the back: while the forklift drives *away* from the
+// reader the tag's ground plane hides it, and the link returns the moment
+// the loop turns around — plus NLOS dips when a worker crosses the beam.
+// One LinkScenario call produces the whole timeline; the example prints a
+// table plus an ASCII strip chart of the controlled rate.
+#include <cstdio>
+#include <memory>
+
+#include "src/phys/constants.hpp"
+#include "src/phys/units.hpp"
+#include "src/sim/ascii_plot.hpp"
+#include "src/sim/scenario.hpp"
+#include "src/sim/table.hpp"
+
+int main() {
+  using namespace mmtag;
+
+  sim::LinkScenario::Config config;
+  config.step_s = 0.2;
+  config.orientation = sim::TagOrientation::kFollowVelocity;
+  config.tracking.miss_budget = 1;  // Re-acquire promptly when blocked.
+
+  sim::LinkScenario scenario(
+      reader::MmWaveReader::prototype_at(core::Pose{{0.0, 0.0}, 0.3}),
+      phy::RateTable::mmtag_standard(), config);
+
+  // Racking face along one side of the aisle: a good NLOS reflector.
+  channel::Environment warehouse;
+  warehouse.add_wall(
+      channel::Wall{channel::Segment{{-1.0, 1.4}, {6.0, 1.4}}, 0.3});
+  scenario.set_static_environment(warehouse);
+
+  // The forklift loops: out along the aisle, turn, and back.
+  scenario.set_tag_trajectory(std::make_shared<channel::WaypointMobility>(
+      std::vector<channel::Vec2>{
+          {0.8, 0.2}, {2.8, 0.6}, {3.0, 1.0}, {1.0, 0.9}, {0.8, 0.2}},
+      /*speed_m_per_s=*/0.7));
+
+  // A worker pacing across the reader's field of view.
+  scenario.add_moving_blocker(
+      std::make_shared<channel::WaypointMobility>(
+          std::vector<channel::Vec2>{
+              {0.5, -0.6}, {0.5, 0.8}, {0.5, -0.6}},
+          /*speed_m_per_s=*/0.35),
+      0.12);
+
+  const sim::ScenarioResult result = scenario.run(9.0, 2026);
+
+  sim::Table table({"t_s", "pos", "path", "power_dbm", "rate_in_force"});
+  std::vector<double> t_axis;
+  sim::Series rate_series{"controlled rate (Mbps)", {}, '*'};
+  for (const sim::TimelineRecord& record : result.timeline) {
+    char pos_text[32];
+    std::snprintf(pos_text, sizeof(pos_text), "(%.1f,%.1f)",
+                  record.tag_position.x, record.tag_position.y);
+    table.add_row(
+        {sim::Table::fmt(record.t_s, 1), pos_text,
+         record.path_kind == channel::PathKind::kReflected ? "NLOS" : "LOS",
+         sim::Table::fmt(record.received_power_dbm, 1),
+         sim::Table::fmt_rate(record.controlled_rate_bps)});
+    t_axis.push_back(record.t_s);
+    rate_series.y.push_back(record.controlled_rate_bps / 1e6);
+  }
+  table.print("Forklift loop — tracked link timeline");
+
+  sim::PlotOptions plot;
+  plot.x_label = "time (s)";
+  plot.y_label = "Mbps";
+  plot.height = 12;
+  std::printf("\n%s", sim::ascii_plot(t_axis, {rate_series}, plot).c_str());
+
+  std::printf(
+      "\nconnected %.0f%% of the loop | mean rate %s | %.2f Gbit moved | "
+      "%d re-acquisition scans | %d rate switches\n"
+      "(the dead first leg is the forklift driving away — a forward-facing "
+      "tag covers only its front half-plane; a second tag on the rear mast "
+      "or a second reader closes the loop)\n",
+      100.0 * result.connectivity,
+      sim::Table::fmt_rate(result.mean_rate_bps).c_str(),
+      result.delivered_bits / 1e9, result.full_scans, result.rate_switches);
+  return result.connectivity > 0.5 ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+// NLOS fallback demo (paper Sec. 4): a person repeatedly walks through the
+// line of sight between a reader and a sensor tag; the reader's beam
+// tracker switches to the whiteboard reflection and back, and the example
+// verifies data still gets through in the NLOS phase by running a frame
+// through the waveform pipeline at the NLOS operating point.
+#include <cstdio>
+
+#include "src/channel/mobility.hpp"
+#include "src/channel/raytrace.hpp"
+#include "src/core/tag.hpp"
+#include "src/phy/rate_table.hpp"
+#include "src/phys/constants.hpp"
+#include "src/phys/units.hpp"
+#include "src/reader/receive_chain.hpp"
+#include "src/reader/reader.hpp"
+#include "src/sim/rng.hpp"
+#include "src/sim/table.hpp"
+
+int main() {
+  using namespace mmtag;
+  auto rng = sim::make_rng(99);
+
+  const phy::RateTable rates = phy::RateTable::mmtag_standard();
+  const core::MmTag tag = core::MmTag::prototype_at(
+      core::Pose{{0.0, 0.0}, 0.0}, 55);
+  auto reader = reader::MmWaveReader::prototype_at(
+      core::Pose{{phys::feet_to_m(3.0), 0.0}, phys::kPi});
+
+  // Corridor with a smooth metal cabinet along one side.
+  const channel::Wall cabinet{channel::Segment{{-2.0, 0.3}, {2.0, 0.3}},
+                              /*roughness=*/0.1};
+  // A person pacing back and forth across the link at 0.8 m/s.
+  const channel::WaypointMobility person(
+      {{0.45, -0.6}, {0.45, 0.6}, {0.45, -0.6}}, 0.8);
+
+  sim::Table table({"t_s", "path", "power_dbm", "rate", "frame"});
+  const reader::ReceiveChain chain(reader::ReceiveChain::Params{8, true});
+  int delivered = 0;
+  int attempts = 0;
+  for (double t = 0.0; t <= person.total_duration_s(); t += 0.25) {
+    channel::Environment env;
+    env.add_wall(cabinet);
+    const channel::Vec2 p = person.position(t);
+    env.add_obstacle(channel::Obstacle{
+        channel::Segment{{p.x, p.y - 0.1}, {p.x, p.y + 0.1}}});
+
+    const auto paths =
+        channel::trace_paths(env, reader.pose().position, tag.pose().position);
+    reader.steer_to_world(paths.front().departure_rad);
+    const auto link = reader.evaluate_link(tag, env, rates);
+
+    // Attempt one sensor-reading frame at this operating point.
+    std::string frame_status = "-";
+    if (const auto tier = rates.best_tier(link.received_power_dbm)) {
+      ++attempts;
+      const double snr_db = link.received_power_dbm -
+                            rates.noise().power_dbm(tier->bandwidth_hz);
+      phy::TagFrame frame;
+      frame.tag_id = tag.id();
+      frame.payload = phy::BitVector(64, false);
+      phy::Waveform wave = chain.encode(frame, link.modulation_depth_db);
+      phy::add_awgn(wave,
+                    phy::noise_power_for_snr(phy::mean_power(wave), snr_db),
+                    rng);
+      const auto rx = chain.receive(wave);
+      const bool ok = rx.frame.has_value() && *rx.frame == frame;
+      if (ok) ++delivered;
+      frame_status = ok ? "ok" : "lost";
+    }
+
+    table.add_row(
+        {sim::Table::fmt(t, 2),
+         link.path.kind == channel::PathKind::kReflected ? "NLOS(cab)"
+                                                         : "LOS",
+         sim::Table::fmt(link.received_power_dbm, 1),
+         sim::Table::fmt_rate(link.achievable_rate_bps), frame_status});
+  }
+  table.print("NLOS mobility — blocker pacing across the link");
+  std::printf("\nframes delivered: %d / %d attempts\n", delivered, attempts);
+  return delivered > 0 && attempts > 0 ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// Quickstart: the smallest complete mmtag-sim program.
+//
+// Builds the paper's prototype tag and reader 4 ft apart, evaluates the
+// backscatter link, and pushes one CRC-protected frame through the
+// waveform-level pipeline at the SNR the link budget predicts.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "src/channel/environment.hpp"
+#include "src/core/tag.hpp"
+#include "src/phy/rate_table.hpp"
+#include "src/phys/constants.hpp"
+#include "src/phys/units.hpp"
+#include "src/reader/receive_chain.hpp"
+#include "src/reader/reader.hpp"
+#include "src/sim/rng.hpp"
+#include "src/sim/table.hpp"
+
+int main() {
+  using namespace mmtag;
+
+  // 1. A tag at the origin facing +x, and a reader 4 ft away facing back.
+  const core::MmTag tag =
+      core::MmTag::prototype_at(core::Pose{{0.0, 0.0}, 0.0}, /*id=*/7);
+  const auto reader = reader::MmWaveReader::prototype_at(
+      core::Pose{{phys::feet_to_m(4.0), 0.0}, phys::kPi});
+
+  // 2. Evaluate the two-way link (free space, like the paper's bench).
+  const phy::RateTable rates = phy::RateTable::mmtag_standard();
+  const auto link =
+      reader.evaluate_link(tag, channel::Environment{}, rates);
+  std::printf("tag power at reader : %.1f dBm\n", link.received_power_dbm);
+  std::printf("modulation depth    : %.1f dB\n", link.modulation_depth_db);
+  std::printf("achievable rate     : %s\n",
+              sim::Table::fmt_rate(link.achievable_rate_bps).c_str());
+
+  // 3. Send one frame at that operating point.
+  const auto tier = rates.best_tier(link.received_power_dbm);
+  if (!tier) {
+    std::printf("link below the slowest tier — move the reader closer\n");
+    return 1;
+  }
+  const double snr_db = link.received_power_dbm -
+                        rates.noise().power_dbm(tier->bandwidth_hz);
+  std::printf("SNR in %.0f MHz     : %.1f dB\n", tier->bandwidth_hz / 1e6,
+              snr_db);
+
+  const reader::ReceiveChain chain(reader::ReceiveChain::Params{8, true});
+  phy::TagFrame frame;
+  frame.tag_id = tag.id();
+  frame.payload = phy::BitVector(96, true);  // An EPC-96-style identifier.
+  phy::Waveform wave = chain.encode(frame, link.modulation_depth_db);
+  auto rng = sim::make_rng(1);
+  phy::add_awgn(wave, phy::noise_power_for_snr(phy::mean_power(wave), snr_db),
+                rng);
+
+  const auto received = chain.receive(wave);
+  if (received.frame.has_value() && *received.frame == frame) {
+    std::printf("frame from tag %u received, CRC OK\n",
+                received.frame->tag_id);
+    return 0;
+  }
+  std::printf("frame lost (preamble %s, CRC %s)\n",
+              received.preamble_ok ? "ok" : "bad",
+              received.crc_ok ? "ok" : "bad");
+  return 1;
+}

@@ -1,0 +1,79 @@
+// Smart shelf: inventory + localization in one pass.
+//
+// The RFID application literature the paper cites (Konark, RF-IDraw) wants
+// to know not just *which* tags are present but *where* they are. A
+// beam-scanning mmWave reader gets both from the same sweep: the winning
+// beam bears on the tag, and inverting the link budget on the measured
+// power yields range. This example scans a shelf of tagged items and
+// prints estimated vs true positions.
+#include <cstdio>
+
+#include "src/antenna/codebook.hpp"
+#include "src/phys/constants.hpp"
+#include "src/phys/units.hpp"
+#include "src/reader/localization.hpp"
+#include "src/reader/scanner.hpp"
+#include "src/sim/rng.hpp"
+#include "src/sim/table.hpp"
+
+int main() {
+  using namespace mmtag;
+  auto rng = sim::make_rng(404);
+
+  // Five items on a shelf arc, 2-5 ft from the shelf-edge reader.
+  struct Item {
+    const char* name;
+    channel::Vec2 position;
+  };
+  const Item items[] = {
+      {"cereal", {0.7, -0.25}}, {"coffee", {0.9, 0.1}},
+      {"pasta", {1.1, 0.45}},   {"flour", {1.3, -0.5}},
+      {"rice", {1.5, 0.2}},
+  };
+
+  reader::BeamScanner scanner(
+      reader::MmWaveReader::prototype_at(core::Pose{{0.0, 0.0}, 0.0}),
+      reader::PowerDetector::mmtag_default());
+  const auto rates = phy::RateTable::mmtag_standard();
+  // Finer beams than the tag's own: 9-degree codebook for a tighter fix.
+  const auto codebook = antenna::uniform_codebook(
+      phys::deg_to_rad(-60.0), phys::deg_to_rad(60.0), 9.0);
+  const reader::TagLocator locator = reader::TagLocator::mmtag_default();
+  const channel::Environment shelf;
+
+  sim::Table table({"item", "true_pos", "est_pos", "err_cm", "bearing_err_deg",
+                    "rate"});
+  int located = 0;
+  for (const Item& item : items) {
+    const core::MmTag tag = core::MmTag::prototype_at(core::Pose{
+        item.position, channel::bearing_rad(item.position, {0.0, 0.0})});
+    const auto scan = scanner.scan(codebook, tag, shelf, rates, rng);
+    char truth_text[32];
+    std::snprintf(truth_text, sizeof(truth_text), "(%.2f,%.2f)",
+                  item.position.x, item.position.y);
+    const auto estimate = locator.locate(scan, core::Pose{{0.0, 0.0}, 0.0});
+    if (!estimate) {
+      table.add_row({item.name, truth_text, "not found", "-", "-", "-"});
+      continue;
+    }
+    ++located;
+    char est_text[32];
+    std::snprintf(est_text, sizeof(est_text), "(%.2f,%.2f)",
+                  estimate->position.x, estimate->position.y);
+    const double err_cm =
+        channel::distance(estimate->position, item.position) * 100.0;
+    const double truth_bearing =
+        channel::bearing_rad({0.0, 0.0}, item.position);
+    const double bearing_err = phys::rad_to_deg(phys::wrap_angle_rad(
+        estimate->bearing_rad - truth_bearing));
+    const auto& winner = scan.probes[static_cast<std::size_t>(
+        scan.best_beam_index)];
+    table.add_row({item.name, truth_text, est_text,
+                   sim::Table::fmt(err_cm, 1),
+                   sim::Table::fmt(bearing_err, 2),
+                   sim::Table::fmt_rate(winner.achievable_rate_bps)});
+  }
+  table.print("Smart shelf — joint inventory + localization from one scan");
+  std::printf("\nlocated %d / 5 items\n", located);
+  return located == 5 ? 0 : 1;
+}

@@ -1,0 +1,102 @@
+// Vibration sensing through the backscatter phase.
+//
+// The RFID sensing literature the paper cites (Sec. 3) reads the physical
+// world through tag reflections. At 24 GHz the two-way phase is so
+// sensitive (2 k0 ~ 1 rad per millimetre) that a tag bolted to a machine
+// turns the reader into a vibrometer for free: the mmTag link carries
+// data AND the carrier phase carries the machine's vibration signature.
+// This example recovers amplitude and frequency of a bearing vibration
+// from the simulated phase series and checks them against ground truth.
+#include <cmath>
+#include <cstdio>
+
+#include "src/channel/doppler.hpp"
+#include "src/phy/fft.hpp"
+#include "src/phys/constants.hpp"
+#include "src/phys/units.hpp"
+#include "src/sim/table.hpp"
+
+namespace {
+
+// A machine panel vibrating along the line of sight.
+class PanelVibration final : public mmtag::channel::Mobility {
+ public:
+  PanelVibration(double amplitude_m, double frequency_hz)
+      : amplitude_m_(amplitude_m), frequency_hz_(frequency_hz) {}
+
+  [[nodiscard]] mmtag::channel::Vec2 position(double t_s) const override {
+    return {1.5 + amplitude_m_ * std::sin(mmtag::phys::kTwoPi *
+                                          frequency_hz_ * t_s),
+            0.0};
+  }
+
+ private:
+  double amplitude_m_;
+  double frequency_hz_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace mmtag;
+
+  sim::Table table({"truth_um_pp", "truth_hz", "measured_um_pp",
+                    "measured_hz", "phase_swing_mrad"});
+  const struct {
+    double amplitude_um;
+    double freq_hz;
+  } kCases[] = {{250.0, 12.0}, {80.0, 30.0}, {25.0, 60.0}, {8.0, 120.0}};
+
+  bool all_good = true;
+  for (const auto& test_case : kCases) {
+    const PanelVibration panel(test_case.amplitude_um * 1e-6 / 2.0,
+                               test_case.freq_hz);
+    const double sample_rate = 2000.0;
+    const auto phase = channel::backscatter_phase_series(
+        panel, {0.0, 0.0}, phys::kMmTagCarrierHz, /*duration_s=*/1.0,
+        sample_rate);
+
+    // Amplitude from the phase swing.
+    const double displacement_um =
+        channel::displacement_from_phase_m(phase, phys::kMmTagCarrierHz) *
+        1e6;
+
+    // Frequency from the phase spectrum (remove the dc/static range term).
+    double mean = 0.0;
+    for (const double p : phase) mean += p;
+    mean /= static_cast<double>(phase.size());
+    std::vector<phy::Complex> centered;
+    centered.reserve(phase.size());
+    for (const double p : phase) centered.emplace_back(p - mean, 0.0);
+    std::vector<double> freqs;
+    const auto spectrum = phy::power_spectrum(centered, sample_rate, freqs);
+    std::size_t peak = 0;
+    for (std::size_t i = 0; i < spectrum.size(); ++i) {
+      if (freqs[i] > 1.0 && spectrum[i] > spectrum[peak]) peak = i;
+    }
+    const double measured_hz = freqs[peak];
+
+    double swing = 0.0;
+    for (const double p : phase) {
+      swing = std::max(swing, std::abs(p - mean));
+    }
+
+    table.add_row({sim::Table::fmt(test_case.amplitude_um, 0),
+                   sim::Table::fmt(test_case.freq_hz, 0),
+                   sim::Table::fmt(displacement_um, 1),
+                   sim::Table::fmt(measured_hz, 1),
+                   sim::Table::fmt(2.0 * swing * 1e3, 2)});
+    if (std::abs(displacement_um - test_case.amplitude_um) >
+            0.1 * test_case.amplitude_um ||
+        std::abs(measured_hz - test_case.freq_hz) > 2.5) {
+      all_good = false;
+    }
+  }
+  table.print("Vibration sensing via backscatter phase (tag at 1.5 m, "
+              "24 GHz)");
+  std::printf(
+      "\nEven an 8 um vibration swings the two-way phase by ~8 mrad — "
+      "readable at the SNRs the data link already needs. The same tag "
+      "streams data and monitors the machine.\n");
+  return all_good ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Warehouse inventory: read a shelf of 30 tagged items with one beam-
+// scanning reader (paper Sec. 9: SDM + Aloha).
+//
+// The reader sits at the aisle end, sweeps a 120-degree sector in
+// 17-degree beams, and inventories each responding beam with EPC-style
+// framed slotted Aloha. Prints the per-beam breakdown and totals — note
+// how gigabit-class links shrink a full inventory to milliseconds.
+#include <cstdio>
+
+#include "src/channel/geometry.hpp"
+#include "src/mac/inventory.hpp"
+#include "src/phys/constants.hpp"
+#include "src/phys/units.hpp"
+#include "src/sim/rng.hpp"
+#include "src/sim/table.hpp"
+
+int main() {
+  using namespace mmtag;
+
+  // 30 items on two shelf rows flanking the aisle, 2-9 ft from the reader.
+  std::vector<core::MmTag> tags;
+  auto rng = sim::make_rng(2026);
+  std::uniform_real_distribution<double> along(0.6, 2.8);
+  for (int i = 0; i < 30; ++i) {
+    const double x = along(rng);
+    const double y = (i % 2 == 0) ? 0.9 : -0.9;
+    const channel::Vec2 pos{x, y};
+    // Tags face across the aisle, not at the reader — retrodirectivity
+    // covers the rest.
+    tags.push_back(core::MmTag::prototype_at(
+        core::Pose{pos, channel::bearing_rad(pos, {0.0, 0.0})},
+        static_cast<std::uint32_t>(1000 + i)));
+  }
+
+  const auto reader =
+      reader::MmWaveReader::prototype_at(core::Pose{{0.0, 0.0}, 0.0});
+  const auto rates = phy::RateTable::mmtag_standard();
+  const auto codebook = antenna::uniform_codebook(
+      phys::deg_to_rad(-60.0), phys::deg_to_rad(60.0), 17.0);
+
+  mac::InventoryConfig config;
+  config.payload_bits = 96;
+  mac::SdmInventory inventory(reader, rates, config);
+  const channel::Environment warehouse;  // Open aisle.
+  const auto result = inventory.run(codebook, tags, warehouse, rng);
+
+  sim::Table table({"beam_deg", "tags", "rounds", "slots", "collisions",
+                    "link_rate", "dwell_ms"});
+  for (const auto& beam : result.beams) {
+    table.add_row({sim::Table::fmt(
+                       phys::rad_to_deg(beam.beam.boresight_rad), 0),
+                   std::to_string(beam.tags_in_beam),
+                   std::to_string(beam.aloha.rounds),
+                   std::to_string(beam.aloha.slots_total),
+                   std::to_string(beam.aloha.slots_collision),
+                   sim::Table::fmt_rate(beam.link_rate_bps),
+                   sim::Table::fmt(beam.dwell_time_s * 1e3, 3)});
+  }
+  table.print("Warehouse aisle inventory — per-beam breakdown");
+  std::printf("\nread %d / %d tags in %.2f ms  (%s of identifiers)\n",
+              result.tags_read, result.tags_total,
+              result.total_time_s * 1e3,
+              sim::Table::fmt_rate(result.aggregate_throughput_bps(
+                                       config.payload_bits))
+                  .c_str());
+  return result.tags_read == result.tags_total ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+#include "src/antenna/codebook.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/phys/units.hpp"
+
+namespace mmtag::antenna {
+
+std::vector<Beam> uniform_codebook(double sector_min_rad,
+                                   double sector_max_rad,
+                                   double beamwidth_deg) {
+  assert(sector_max_rad > sector_min_rad);
+  assert(beamwidth_deg > 0.0);
+  const double width_rad = phys::deg_to_rad(beamwidth_deg);
+  const double sector = sector_max_rad - sector_min_rad;
+  const int count = std::max(1, static_cast<int>(std::ceil(sector / width_rad)));
+  std::vector<Beam> beams;
+  beams.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Beam beam;
+    beam.boresight_rad = sector_min_rad + (i + 0.5) * sector / count;
+    beam.width_deg = beamwidth_deg;
+    beams.push_back(beam);
+  }
+  return beams;
+}
+
+std::vector<std::vector<Beam>> hierarchical_codebook(double sector_min_rad,
+                                                     double sector_max_rad,
+                                                     int levels,
+                                                     int refinement) {
+  assert(levels >= 1);
+  assert(refinement >= 2);
+  std::vector<std::vector<Beam>> stages;
+  stages.reserve(static_cast<std::size_t>(levels));
+  const double sector_deg =
+      phys::rad_to_deg(sector_max_rad - sector_min_rad);
+  double beams_this_level = refinement;
+  for (int level = 0; level < levels; ++level) {
+    const double width_deg = sector_deg / beams_this_level;
+    stages.push_back(
+        uniform_codebook(sector_min_rad, sector_max_rad, width_deg));
+    beams_this_level *= refinement;
+  }
+  return stages;
+}
+
+int exhaustive_probe_count(const std::vector<Beam>& codebook) {
+  return static_cast<int>(codebook.size());
+}
+
+int hierarchical_probe_count(const std::vector<std::vector<Beam>>& stages) {
+  if (stages.empty()) return 0;
+  // Probe every beam of the first stage, then `refinement` children per
+  // later stage. Children per stage = size ratio between adjacent stages.
+  int probes = static_cast<int>(stages.front().size());
+  for (std::size_t i = 1; i < stages.size(); ++i) {
+    const int ratio = static_cast<int>(
+        stages[i].size() / std::max<std::size_t>(1, stages[i - 1].size()));
+    probes += std::max(1, ratio);
+  }
+  return probes;
+}
+
+}  // namespace mmtag::antenna

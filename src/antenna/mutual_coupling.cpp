@@ -1,0 +1,65 @@
+#include "src/antenna/mutual_coupling.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/phys/constants.hpp"
+#include "src/phys/units.hpp"
+
+namespace mmtag::antenna {
+
+CouplingMatrix::CouplingMatrix(int order, Complex adjacent, int rings)
+    : order_(order), row_(static_cast<std::size_t>(order), Complex(0, 0)) {
+  assert(order_ >= 1);
+  assert(std::abs(adjacent) < 1.0);
+  assert(rings >= 0);
+  row_[0] = Complex(1.0, 0.0);
+  Complex ring_value = adjacent;
+  for (int k = 1; k <= rings && k < order_; ++k) {
+    row_[static_cast<std::size_t>(k)] = ring_value;
+    ring_value *= adjacent;
+  }
+}
+
+CouplingMatrix CouplingMatrix::identity(int order) {
+  return CouplingMatrix(order, Complex(0.0, 0.0), 0);
+}
+
+CouplingMatrix CouplingMatrix::typical_patch(int order) {
+  // -15 dB magnitude, mostly reactive (+90 deg) nearest-neighbour term.
+  const double magnitude = phys::db_to_amplitude_ratio(-15.0);
+  return CouplingMatrix(order, std::polar(magnitude, phys::kPi / 2.0));
+}
+
+std::vector<CouplingMatrix::Complex> CouplingMatrix::apply(
+    std::span<const Complex> x) const {
+  assert(static_cast<int>(x.size()) == order_);
+  std::vector<Complex> y(static_cast<std::size_t>(order_), Complex(0, 0));
+  for (int i = 0; i < order_; ++i) {
+    Complex acc(0.0, 0.0);
+    for (int j = 0; j < order_; ++j) {
+      acc += at(i, j) * x[static_cast<std::size_t>(j)];
+    }
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+  return y;
+}
+
+CouplingMatrix::Complex CouplingMatrix::at(int i, int j) const {
+  assert(i >= 0 && i < order_ && j >= 0 && j < order_);
+  return row_[static_cast<std::size_t>(std::abs(i - j))];
+}
+
+bool CouplingMatrix::is_persymmetric(double tolerance) const {
+  // (J C J)[i][j] = C[n-1-i][n-1-j]; equality with C[i][j] must hold.
+  for (int i = 0; i < order_; ++i) {
+    for (int j = 0; j < order_; ++j) {
+      const Complex direct = at(i, j);
+      const Complex flipped = at(order_ - 1 - i, order_ - 1 - j);
+      if (std::abs(direct - flipped) > tolerance) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mmtag::antenna

@@ -1,0 +1,56 @@
+// Mutual coupling between array elements.
+//
+// Adjacent patches at half-wavelength spacing couple: part of one element's
+// received (or driven) signal leaks into its neighbours. A full-wave solver
+// captures this in the array's S-matrix; we model the standard first-order
+// banded form — coupling c to nearest neighbours, c^2-scaled to the next
+// ring — as a symmetric Toeplitz matrix applied to the element excitation
+// vector. Used to check (and quantify) that the Van Atta's retrodirective
+// property survives real inter-element coupling, which a mirror-symmetric
+// argument suggests it should.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace mmtag::antenna {
+
+class CouplingMatrix {
+ public:
+  using Complex = std::complex<double>;
+
+  /// `order` elements; `adjacent` is the complex coupling coefficient to a
+  /// nearest neighbour (|adjacent| < 1); ring k couples with adjacent^k up
+  /// to `rings` neighbours each side. adjacent == 0 gives the identity.
+  CouplingMatrix(int order, Complex adjacent, int rings = 2);
+
+  /// Identity (no coupling).
+  [[nodiscard]] static CouplingMatrix identity(int order);
+
+  /// Typical measured patch coupling at lambda/2: about -15 dB with ~90
+  /// degrees of phase (reactive).
+  [[nodiscard]] static CouplingMatrix typical_patch(int order);
+
+  /// y = C * x (x untouched).
+  [[nodiscard]] std::vector<Complex> apply(
+      std::span<const Complex> x) const;
+
+  /// Matrix entry C[i][j].
+  [[nodiscard]] Complex at(int i, int j) const;
+
+  [[nodiscard]] int order() const { return order_; }
+
+  /// True within tolerance if C commutes with the flip operator J
+  /// (J C J == C, i.e. persymmetric) — the property that preserves
+  /// retrodirectivity. Always true for this Toeplitz construction; exposed
+  /// for tests and for user-supplied perturbations.
+  [[nodiscard]] bool is_persymmetric(double tolerance = 1e-12) const;
+
+ private:
+  int order_;
+  /// First row of the symmetric Toeplitz matrix: offset 0..order-1.
+  std::vector<Complex> row_;
+};
+
+}  // namespace mmtag::antenna

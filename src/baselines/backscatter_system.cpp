@@ -1,0 +1,120 @@
+#include "src/baselines/backscatter_system.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/phys/constants.hpp"
+#include "src/phys/pathloss.hpp"
+#include "src/phys/units.hpp"
+
+namespace mmtag::baselines {
+
+double BackscatterSystem::snr_db(double range_m) const {
+  const phys::NoiseModel noise(phys::kRoomTemperatureK, noise_figure_db);
+  return budget.received_power_dbm(range_m) - noise.power_dbm(bandwidth_hz);
+}
+
+double BackscatterSystem::achievable_rate_bps(double range_m) const {
+  if (snr_db(range_m) < required_snr_db) return 0.0;
+  double rate = bandwidth_hz * bits_per_hz;
+  if (protocol_rate_cap_bps > 0.0) {
+    rate = std::min(rate, protocol_rate_cap_bps);
+  }
+  return rate;
+}
+
+double BackscatterSystem::max_range_m() const {
+  const phys::NoiseModel noise(phys::kRoomTemperatureK, noise_figure_db);
+  const double required_dbm =
+      noise.power_dbm(bandwidth_hz) + required_snr_db;
+  return budget.max_range_m(required_dbm);
+}
+
+BackscatterSystem rfid_epc_gen2() {
+  BackscatterSystem sys;
+  sys.name = "RFID (EPC Gen2, 915 MHz)";
+  sys.budget.tx_power_dbm = 30.0;        // 1 W FCC reader.
+  sys.budget.reader_tx_gain_dbi = 6.0;   // Circular patch panel.
+  sys.budget.reader_rx_gain_dbi = 6.0;
+  sys.budget.tag_rx_gain_dbi = 2.0;      // Tag dipole.
+  sys.budget.tag_tx_gain_dbi = 2.0;
+  sys.budget.modulation_loss_db = 5.0;   // FM0 backscatter loss.
+  sys.budget.implementation_loss_db = 5.0;
+  sys.budget.frequency_hz = 915.0e6;
+  sys.bandwidth_hz = phys::khz(500.0);   // FCC Part 15 channel (paper Sec.1).
+  sys.bits_per_hz = 1.0;                 // FM0 at BLF ~ channel width.
+  sys.protocol_rate_cap_bps = 640.0e3;   // EPC Gen2 ceiling.
+  return sys;
+}
+
+BackscatterSystem wifi_backscatter() {
+  BackscatterSystem sys;
+  sys.name = "Wi-Fi Backscatter (Kellogg et al.)";
+  sys.budget.tx_power_dbm = 20.0;        // Wi-Fi AP.
+  sys.budget.reader_tx_gain_dbi = 2.0;
+  sys.budget.reader_rx_gain_dbi = 2.0;
+  sys.budget.tag_rx_gain_dbi = 2.0;
+  sys.budget.tag_tx_gain_dbi = 2.0;
+  sys.budget.modulation_loss_db = 8.0;   // CSI/RSSI-level signalling.
+  sys.budget.implementation_loss_db = 5.0;
+  sys.budget.frequency_hz = 2.45e9;
+  sys.bandwidth_hz = phys::mhz(20.0);
+  // Information is conveyed per Wi-Fi packet, not per hertz: the effective
+  // symbol rate is the packet rate, capping throughput near 1 kbps
+  // (the original paper's figure).
+  sys.bits_per_hz = 0.5;
+  sys.protocol_rate_cap_bps = 1.0e3;
+  return sys;
+}
+
+BackscatterSystem hitchhike() {
+  BackscatterSystem sys;
+  sys.name = "HitchHike (codeword translation)";
+  sys.budget.tx_power_dbm = 20.0;
+  sys.budget.reader_tx_gain_dbi = 2.0;
+  sys.budget.reader_rx_gain_dbi = 2.0;
+  sys.budget.tag_rx_gain_dbi = 2.0;
+  sys.budget.tag_tx_gain_dbi = 2.0;
+  sys.budget.modulation_loss_db = 6.0;
+  sys.budget.implementation_loss_db = 5.0;
+  sys.budget.frequency_hz = 2.45e9;
+  sys.bandwidth_hz = phys::mhz(20.0);
+  sys.bits_per_hz = 0.5;
+  sys.protocol_rate_cap_bps = 300.0e3;   // "0.3 Mbps in the best scenario".
+  return sys;
+}
+
+BackscatterSystem backfi() {
+  BackscatterSystem sys;
+  sys.name = "BackFi (full-duplex Wi-Fi)";
+  sys.budget.tx_power_dbm = 20.0;
+  sys.budget.reader_tx_gain_dbi = 6.0;
+  sys.budget.reader_rx_gain_dbi = 6.0;
+  sys.budget.tag_rx_gain_dbi = 2.0;
+  sys.budget.tag_tx_gain_dbi = 2.0;
+  sys.budget.modulation_loss_db = 3.0;   // Higher-order phase modulation.
+  sys.budget.implementation_loss_db = 5.0;
+  sys.budget.frequency_hz = 2.45e9;
+  sys.bandwidth_hz = phys::mhz(20.0);
+  sys.bits_per_hz = 0.5;
+  sys.protocol_rate_cap_bps = 5.0e6;     // "up to 5 Mbps at ... 3 ft".
+  return sys;
+}
+
+BackscatterSystem mmtag_system() {
+  BackscatterSystem sys;
+  sys.name = "mmTag (24 GHz Van Atta)";
+  sys.budget = phys::BackscatterLinkBudget::mmtag_prototype();
+  sys.bandwidth_hz = phys::ghz(2.0);
+  sys.bits_per_hz = 0.5;                 // OOK at B/2.
+  sys.protocol_rate_cap_bps = 0.0;       // No protocol ceiling.
+  return sys;
+}
+
+std::vector<BackscatterSystem> all_systems() {
+  return {rfid_epc_gen2(), wifi_backscatter(), hitchhike(), backfi(),
+          mmtag_system()};
+}
+
+}  // namespace mmtag::baselines

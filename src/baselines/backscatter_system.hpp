@@ -1,0 +1,64 @@
+// Comparable models of every backscatter system the paper cites.
+//
+// Paper Secs. 1 & 3 quantify the competition: RFID < 1 Mbps at 915 MHz /
+// 500 kHz channels, Wi-Fi backscatter ~ 1 Mbps, HitchHike 0.3 Mbps, BackFi
+// 5 Mbps at 3 ft. Each system here carries its spectrum allocation, link
+// budget and protocol rate cap, so experiment C3 can put them all through
+// the *same* evaluation (achievable rate vs range at BER 1e-3) and check
+// that the ordering and rough factors the paper claims actually emerge.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/phys/link_budget.hpp"
+#include "src/phys/noise.hpp"
+
+namespace mmtag::baselines {
+
+struct BackscatterSystem {
+  std::string name;
+  phys::BackscatterLinkBudget budget;   ///< Two-way link parameters.
+  double bandwidth_hz = 0.0;            ///< Occupied channel bandwidth.
+  double required_snr_db = 7.0;         ///< Detection threshold at BER 1e-3.
+  double noise_figure_db = 5.0;         ///< Receiver NF.
+  /// Hard protocol cap [bit/s]: whatever the spec/encoding allows even at
+  /// infinite SNR (e.g. EPC Gen2 FM0 tops out near 640 kbps).
+  double protocol_rate_cap_bps = 0.0;
+  /// Spectral efficiency of the tag modulation [bit/s/Hz] (OOK/FM0 ~ 0.5).
+  double bits_per_hz = 0.5;
+
+  /// Thermal-noise-limited SNR at `range_m` [dB].
+  [[nodiscard]] double snr_db(double range_m) const;
+
+  /// Achievable rate at `range_m` [bit/s]: bandwidth * bits_per_hz when the
+  /// SNR threshold is met (capped by the protocol), else 0.
+  [[nodiscard]] double achievable_rate_bps(double range_m) const;
+
+  /// Largest range at which the system still delivers its full rate [m].
+  [[nodiscard]] double max_range_m() const;
+};
+
+/// EPC Gen2-style UHF RFID: 915 MHz, 500 kHz channel (FCC Part 15, paper
+/// Sec. 1), FM0 tag encoding.
+[[nodiscard]] BackscatterSystem rfid_epc_gen2();
+
+/// Wi-Fi backscatter (Kellogg et al. [16]): tags signal by modulating CSI/
+/// RSSI of 2.4 GHz Wi-Fi packets — sub-Mbps by construction.
+[[nodiscard]] BackscatterSystem wifi_backscatter();
+
+/// HitchHike [35]: codeword-translation 802.11b backscatter, 0.3 Mbps
+/// best-case (paper Sec. 3).
+[[nodiscard]] BackscatterSystem hitchhike();
+
+/// BackFi [4]: full-duplex Wi-Fi reader, 5 Mbps at 3 ft (paper Sec. 3).
+[[nodiscard]] BackscatterSystem backfi();
+
+/// mmTag on the same scalar footing (24 GHz, 2 GHz channel, prototype
+/// budget) for the C3 comparison table.
+[[nodiscard]] BackscatterSystem mmtag_system();
+
+/// All of the above, mmTag last.
+[[nodiscard]] std::vector<BackscatterSystem> all_systems();
+
+}  // namespace mmtag::baselines

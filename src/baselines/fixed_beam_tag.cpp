@@ -1,0 +1,34 @@
+#include "src/baselines/fixed_beam_tag.hpp"
+
+#include <cmath>
+
+#include "src/phys/constants.hpp"
+#include "src/phys/units.hpp"
+
+namespace mmtag::baselines {
+
+FixedBeamTag::FixedBeamTag(int elements, double frequency_hz)
+    : array_(antenna::UniformLinearArray::half_wavelength(elements,
+                                                          frequency_hz)),
+      element_pattern_() {}
+
+FixedBeamTag FixedBeamTag::like_mmtag_prototype() {
+  return FixedBeamTag(phys::kMmTagPrototypeElements, phys::kMmTagCarrierHz);
+}
+
+double FixedBeamTag::monostatic_gain_db(double theta_rad) const {
+  // In-phase (broadside) excitation on both passes: the incident wave is
+  // summed with uniform weights, re-fed uniformly, and re-radiated. The
+  // normalized array factor applies on reception and again on re-radiation.
+  const std::vector<antenna::Complex> weights =
+      antenna::uniform_weights(array_.size());
+  const double af_power =
+      std::norm(array_.array_factor(weights, theta_rad));  // Peak = N.
+  const double element_db = element_pattern_.gain_dbi(theta_rad);
+  constexpr double kFloorDb = -100.0;
+  if (af_power <= 1e-10) return kFloorDb;
+  // Two array-factor passes + two element-pattern passes (in and out).
+  return 2.0 * phys::ratio_to_db(af_power) + 2.0 * element_db;
+}
+
+}  // namespace mmtag::baselines

@@ -1,0 +1,41 @@
+// Fixed-beam mmWave backscatter tag — the Kimionis et al. [18] baseline.
+//
+// Paper Sec. 3: "This work is limited by its fixed beam and does not solve
+// the beam searching problem... It only works when the tag is exactly in
+// front of the reader." We model it as the same patch array as mmTag but
+// fed in-phase through a corporate network (no mirrored pairing): both the
+// receive and the re-radiate apertures are fixed broadside beams, so the
+// monostatic response collapses as soon as the tag turns away from the
+// reader. Experiment C2 plots this against the Van Atta curve.
+#pragma once
+
+#include <complex>
+
+#include "src/antenna/pattern.hpp"
+#include "src/antenna/ula.hpp"
+
+namespace mmtag::baselines {
+
+class FixedBeamTag {
+ public:
+  /// `elements` patches at half-wavelength spacing, boresight-fed.
+  FixedBeamTag(int elements, double frequency_hz);
+
+  /// Same aperture as the mmTag prototype (6 elements, 24 GHz) for a fair
+  /// comparison.
+  [[nodiscard]] static FixedBeamTag like_mmtag_prototype();
+
+  /// Monostatic reflection gain at incidence `theta_rad` [dB rel. isotropic
+  /// scatterer]: the wave is received through the fixed broadside beam and
+  /// re-radiated through the same fixed beam, so the array factor applies
+  /// twice.
+  [[nodiscard]] double monostatic_gain_db(double theta_rad) const;
+
+  [[nodiscard]] int size() const { return array_.size(); }
+
+ private:
+  antenna::UniformLinearArray array_;
+  antenna::PatchPattern element_pattern_;
+};
+
+}  // namespace mmtag::baselines

@@ -1,0 +1,26 @@
+#include "src/channel/environment.hpp"
+
+namespace mmtag::channel {
+
+bool Environment::line_of_sight_blocked(Vec2 a, Vec2 b) const {
+  for (const Obstacle& obstacle : obstacles_) {
+    if (blocks(obstacle.segment, a, b)) return true;
+  }
+  return false;
+}
+
+Environment Environment::office_room() {
+  Environment env;
+  // Room corners: (0,0) to (5,4). Reader and tags live inside.
+  const Vec2 c00{0.0, 0.0};
+  const Vec2 c50{5.0, 0.0};
+  const Vec2 c54{5.0, 4.0};
+  const Vec2 c04{0.0, 4.0};
+  env.add_wall(Wall{Segment{c00, c50}, /*roughness=*/0.6});  // South drywall.
+  env.add_wall(Wall{Segment{c50, c54}, /*roughness=*/0.6});  // East drywall.
+  env.add_wall(Wall{Segment{c04, c54}, /*roughness=*/0.2});  // North: smooth.
+  env.add_wall(Wall{Segment{c00, c04}, /*roughness=*/0.6});  // West drywall.
+  return env;
+}
+
+}  // namespace mmtag::channel

@@ -1,0 +1,53 @@
+// The simulated room: reflective walls and blocking obstacles.
+//
+// Walls produce the NLOS paths of paper Sec. 4 ("when the line-of-sight
+// path is blocked, the tag and the reader choose an NLOS path"); obstacles
+// (people, furniture) sever LOS. Both are line segments in the azimuth
+// plane.
+#pragma once
+
+#include <vector>
+
+#include "src/channel/geometry.hpp"
+
+namespace mmtag::channel {
+
+/// A reflective wall: a segment plus a surface roughness in [0, 1]
+/// controlling its specular reflection loss (see propagation.hpp).
+struct Wall {
+  Segment segment;
+  double roughness = 0.5;
+};
+
+/// An opaque (at mmWave) blocker, e.g. a human body.
+struct Obstacle {
+  Segment segment;
+};
+
+class Environment {
+ public:
+  Environment() = default;
+
+  void add_wall(Wall wall) { walls_.push_back(wall); }
+  void add_obstacle(Obstacle obstacle) { obstacles_.push_back(obstacle); }
+
+  [[nodiscard]] const std::vector<Wall>& walls() const { return walls_; }
+  [[nodiscard]] const std::vector<Obstacle>& obstacles() const {
+    return obstacles_;
+  }
+
+  /// True if the straight segment from `a` to `b` is blocked by any
+  /// obstacle (walls do not block — they are modelled as reflectors only,
+  /// standing in for surfaces outside the direct path).
+  [[nodiscard]] bool line_of_sight_blocked(Vec2 a, Vec2 b) const;
+
+  /// A typical office: 4 m x 5 m room with drywall on three sides and one
+  /// smoother (whiteboard-like) wall that makes a good NLOS reflector.
+  [[nodiscard]] static Environment office_room();
+
+ private:
+  std::vector<Wall> walls_;
+  std::vector<Obstacle> obstacles_;
+};
+
+}  // namespace mmtag::channel

@@ -1,0 +1,60 @@
+#include "src/channel/multipath.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/channel/propagation.hpp"
+#include "src/phys/units.hpp"
+
+namespace mmtag::channel {
+
+Complex path_coefficient(const Path& path, double frequency_hz) {
+  assert(path.length_m > 0.0);
+  // Loss relative to the 1 m free-space reference keeps magnitudes sane:
+  // |h| = 10^(-(L(d) - L(1m)) / 20).
+  const double loss_db = propagation_loss_db(path.length_m, frequency_hz) -
+                         propagation_loss_db(1.0, frequency_hz) +
+                         path.excess_loss_db;
+  const double magnitude = phys::db_to_amplitude_ratio(-loss_db);
+  const double phase =
+      -phys::wavenumber_rad_per_m(frequency_hz) * path.length_m;
+  return std::polar(magnitude, phase);
+}
+
+Complex combine_paths(std::span<const Path> paths, double frequency_hz) {
+  Complex h(0.0, 0.0);
+  for (const Path& path : paths) {
+    h += path_coefficient(path, frequency_hz);
+  }
+  return h;
+}
+
+double backscatter_gain_db(std::span<const Path> paths,
+                           double frequency_hz) {
+  // Reciprocity: the return trip sees the same coefficient, so the two-way
+  // field gain is h^2 and the power gain 40 log10 |h| ... relative to the
+  // squared 1 m reference.
+  const double magnitude = std::abs(combine_paths(paths, frequency_hz));
+  constexpr double kFloorDb = -300.0;
+  if (magnitude <= 1e-15) return kFloorDb;
+  return 40.0 * std::log10(magnitude);
+}
+
+double fading_depth_db(const Environment& env, Vec2 reader, Vec2 tag,
+                       double displacement_m, int steps,
+                       double frequency_hz) {
+  assert(steps >= 2);
+  assert(displacement_m > 0.0);
+  double peak_db = -1e18;
+  double trough_db = 1e18;
+  for (int i = 0; i < steps; ++i) {
+    const Vec2 position{tag.x + displacement_m * i / (steps - 1), tag.y};
+    const auto paths = trace_paths(env, reader, position);
+    const double gain = backscatter_gain_db(paths, frequency_hz);
+    if (gain > peak_db) peak_db = gain;
+    if (gain < trough_db) trough_db = gain;
+  }
+  return peak_db - trough_db;
+}
+
+}  // namespace mmtag::channel

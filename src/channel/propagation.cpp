@@ -1,0 +1,39 @@
+#include "src/channel/propagation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/phys/pathloss.hpp"
+
+namespace mmtag::channel {
+
+double atmospheric_attenuation_db_per_km(double frequency_hz) {
+  assert(frequency_hz > 0.0);
+  const double f_ghz = frequency_hz / 1e9;
+  // Background (water vapour continuum), small and slowly rising.
+  const double background = 0.05 + 0.002 * f_ghz;
+  // 60 GHz oxygen complex: Lorentzian bump, ~15 dB/km peak, ~4 GHz width.
+  const double o2_peak = 15.0;
+  const double o2_center = 60.0;
+  const double o2_width = 4.0;
+  const double delta = (f_ghz - o2_center) / o2_width;
+  const double oxygen = o2_peak / (1.0 + delta * delta);
+  return background + oxygen;
+}
+
+double propagation_loss_db(double distance_m, double frequency_hz) {
+  const double fspl = phys::free_space_path_loss_db(distance_m, frequency_hz);
+  const double gas =
+      atmospheric_attenuation_db_per_km(frequency_hz) * distance_m / 1000.0;
+  return fspl + gas;
+}
+
+double reflection_loss_db(double roughness) {
+  const double clamped = std::clamp(roughness, 0.0, 1.0);
+  return 1.0 + clamped * 11.0;
+}
+
+double blockage_loss_db() { return 35.0; }
+
+}  // namespace mmtag::channel

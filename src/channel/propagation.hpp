@@ -1,0 +1,34 @@
+// Propagation-loss models beyond plain free space.
+//
+// The paper's evaluation is free space at 24 GHz, but Sec. 7 notes the
+// design "can be easily tuned to higher frequency bands (such as 60 GHz)".
+// At 60 GHz the oxygen absorption line adds real loss, so the range benches
+// expose it. Gaseous absorption follows the flat-earth simplification of
+// ITU-R P.676: a frequency-dependent specific attenuation in dB/km.
+#pragma once
+
+namespace mmtag::channel {
+
+/// Atmospheric (oxygen + water vapour) specific attenuation at sea level
+/// [dB/km]. Piecewise model: negligible below ~50 GHz, the 60 GHz O2
+/// resonance peaking near 15 dB/km, decaying above 70 GHz.
+[[nodiscard]] double atmospheric_attenuation_db_per_km(double frequency_hz);
+
+/// Total propagation loss over `distance_m` at `frequency_hz` [dB]:
+/// free-space path loss plus atmospheric absorption.
+[[nodiscard]] double propagation_loss_db(double distance_m,
+                                         double frequency_hz);
+
+/// Reflection loss of a first-order specular bounce off a typical indoor
+/// surface at mmWave [dB]. Measured values for drywall/concrete at 24-60 GHz
+/// cluster around 6-10 dB; `roughness` in [0, 1] interpolates from a smooth
+/// metal sheet (~1 dB) to rough masonry (~12 dB).
+[[nodiscard]] double reflection_loss_db(double roughness);
+
+/// Penetration loss through a blocking obstacle at mmWave [dB]. mmWave does
+/// not usefully penetrate bodies or furniture; the default human-body value
+/// (~35 dB, per measurement literature) effectively severs a link, which is
+/// exactly the paper's motivation for NLOS fallback.
+[[nodiscard]] double blockage_loss_db();
+
+}  // namespace mmtag::channel

@@ -1,0 +1,63 @@
+#include "src/core/energy.hpp"
+
+#include <cassert>
+
+#include "src/phys/constants.hpp"
+
+namespace mmtag::core {
+
+double harvest_density_w_per_m2(HarvestSource source) {
+  // 1 uW/cm^2 = 1e-2 W/m^2.
+  switch (source) {
+    case HarvestSource::kIndoorLight:
+      return 10.0 * 1e-2;
+    case HarvestSource::kOutdoorLight:
+      return 10.0e3 * 1e-2;
+    case HarvestSource::kRfAmbient:
+      return 0.1 * 1e-2;
+    case HarvestSource::kThermal:
+      return 60.0 * 1e-2;
+    case HarvestSource::kVibration:
+      return 4.0 * 1e-2;
+  }
+  return 0.0;
+}
+
+TagEnergyModel::TagEnergyModel(const em::RfSwitch& rf_switch,
+                               int switch_count)
+    : rf_switch_(rf_switch), switch_count_(switch_count) {
+  assert(switch_count_ >= 1);
+}
+
+TagEnergyModel TagEnergyModel::mmtag_prototype() {
+  return TagEnergyModel(em::RfSwitch::ce3520k3(),
+                        phys::kMmTagPrototypeElements);
+}
+
+double TagEnergyModel::energy_per_bit_j(double transition_probability) const {
+  assert(transition_probability >= 0.0 && transition_probability <= 1.0);
+  return transition_probability * switch_count_ *
+         rf_switch_.energy_per_toggle_j();
+}
+
+double TagEnergyModel::modulation_power_w(
+    double bit_rate_bps, double transition_probability) const {
+  assert(bit_rate_bps >= 0.0);
+  return energy_per_bit_j(transition_probability) * bit_rate_bps;
+}
+
+double TagEnergyModel::max_bit_rate_bps(double harvested_power_w,
+                                        double transition_probability) const {
+  assert(harvested_power_w >= 0.0);
+  const double per_bit = energy_per_bit_j(transition_probability);
+  assert(per_bit > 0.0);
+  return harvested_power_w / per_bit;
+}
+
+double TagEnergyModel::harvested_power_w(HarvestSource source,
+                                         double area_m2) {
+  assert(area_m2 > 0.0);
+  return harvest_density_w_per_m2(source) * area_m2;
+}
+
+}  // namespace mmtag::core

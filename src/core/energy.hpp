@@ -1,0 +1,63 @@
+// Tag energy accounting and harvesting budgets (experiment C4).
+//
+// The paper's batteryless claim rests on the tag spending energy only on
+// gate charge when the common data line toggles the shunt FETs. This module
+// turns that into numbers: joules per bit as a function of data statistics,
+// sustainable bit rate under common harvesting sources, and the contrast
+// with active radios ("orders of magnitude", paper Sec. 1).
+#pragma once
+
+#include "src/em/switch_model.hpp"
+
+namespace mmtag::core {
+
+/// Ambient energy sources a batteryless tag can draw on, with typical
+/// harvestable power densities from the energy-harvesting literature.
+enum class HarvestSource {
+  kIndoorLight,    ///< ~10 uW/cm^2 (office lighting, indoor PV).
+  kOutdoorLight,   ///< ~10 mW/cm^2 (direct sun, small PV).
+  kRfAmbient,      ///< ~0.1 uW/cm^2 (ambient RF rectenna).
+  kThermal,        ///< ~60 uW/cm^2 (body-heat TEG).
+  kVibration,      ///< ~4 uW/cm^2 (piezo on machinery).
+};
+
+/// Harvestable power density of `source` [W/m^2].
+[[nodiscard]] double harvest_density_w_per_m2(HarvestSource source);
+
+class TagEnergyModel {
+ public:
+  /// `rf_switch` supplies the gate-charge energy; `switch_count` is the
+  /// number of FETs on the common data line (= element count).
+  TagEnergyModel(const em::RfSwitch& rf_switch, int switch_count);
+
+  /// The prototype: 6 CE3520K3 FETs on one data line.
+  [[nodiscard]] static TagEnergyModel mmtag_prototype();
+
+  /// Expected energy per data bit [J]. A bit edge occurs with probability
+  /// `transition_probability` (0.5 for random data, 1.0 for Manchester
+  /// coding which forces an edge per bit), and every edge recharges all
+  /// gates.
+  [[nodiscard]] double energy_per_bit_j(
+      double transition_probability = 0.5) const;
+
+  /// Average modulation power at `bit_rate_bps` [W].
+  [[nodiscard]] double modulation_power_w(
+      double bit_rate_bps, double transition_probability = 0.5) const;
+
+  /// Highest bit rate sustainable from `harvested_power_w` [bit/s].
+  [[nodiscard]] double max_bit_rate_bps(
+      double harvested_power_w, double transition_probability = 0.5) const;
+
+  /// Power harvested by a tag of `area_m2` from `source` [W]. The prototype
+  /// board is 60 x 45 mm (paper Fig. 5) = 2.7e-3 m^2.
+  [[nodiscard]] static double harvested_power_w(HarvestSource source,
+                                                double area_m2 = 2.7e-3);
+
+  [[nodiscard]] int switch_count() const { return switch_count_; }
+
+ private:
+  em::RfSwitch rf_switch_;
+  int switch_count_;
+};
+
+}  // namespace mmtag::core

@@ -1,0 +1,58 @@
+#include "src/core/harvester.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace mmtag::core {
+
+EnergyHarvester::EnergyHarvester(Params params) : params_(params) {
+  assert(params_.capacitance_f > 0.0);
+  assert(params_.max_voltage_v > params_.min_voltage_v);
+  assert(params_.min_voltage_v > 0.0);
+  assert(params_.harvest_power_w >= 0.0);
+  assert(params_.leakage_power_w >= 0.0);
+}
+
+EnergyHarvester EnergyHarvester::mmtag_with(HarvestSource source) {
+  Params params;
+  params.harvest_power_w = TagEnergyModel::harvested_power_w(source);
+  return EnergyHarvester(params);
+}
+
+double EnergyHarvester::usable_energy_j() const {
+  const double vmax2 = params_.max_voltage_v * params_.max_voltage_v;
+  const double vmin2 = params_.min_voltage_v * params_.min_voltage_v;
+  return params_.capacitance_f * (vmax2 - vmin2) / 2.0;
+}
+
+double EnergyHarvester::recharge_time_s() const {
+  const double net = params_.harvest_power_w - params_.leakage_power_w;
+  if (net <= 0.0) return std::numeric_limits<double>::infinity();
+  return usable_energy_j() / net;
+}
+
+double EnergyHarvester::max_burst_s(double load_power_w) const {
+  assert(load_power_w >= 0.0);
+  const double drain =
+      load_power_w + params_.leakage_power_w - params_.harvest_power_w;
+  if (drain <= 0.0) return std::numeric_limits<double>::infinity();
+  return usable_energy_j() / drain;
+}
+
+double EnergyHarvester::duty_cycle(double load_power_w) const {
+  const double burst = max_burst_s(load_power_w);
+  if (std::isinf(burst)) return 1.0;  // Continuous operation.
+  const double recharge = recharge_time_s();
+  if (std::isinf(recharge)) return 0.0;  // Can never refill.
+  return burst / (burst + recharge);
+}
+
+double EnergyHarvester::effective_throughput_bps(
+    double bit_rate_bps, const TagEnergyModel& energy) const {
+  assert(bit_rate_bps >= 0.0);
+  const double load = energy.modulation_power_w(bit_rate_bps);
+  return bit_rate_bps * duty_cycle(load);
+}
+
+}  // namespace mmtag::core

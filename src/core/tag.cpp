@@ -1,0 +1,49 @@
+#include "src/core/tag.hpp"
+
+#include <cmath>
+
+#include "src/phys/units.hpp"
+
+namespace mmtag::core {
+
+double Pose::to_local(double world_bearing_rad) const {
+  return phys::wrap_angle_rad(world_bearing_rad - orientation_rad);
+}
+
+MmTag::MmTag(VanAttaArray array, Pose pose, std::uint32_t id)
+    : array_(std::move(array)), pose_(pose), id_(id) {
+  set_data_bit(false);
+}
+
+MmTag MmTag::prototype_at(Pose pose, std::uint32_t id) {
+  return MmTag(VanAttaArray::mmtag_prototype(), pose, id);
+}
+
+void MmTag::set_data_bit(bool bit) {
+  bit_ = bit;
+  array_.set_all_switches(bit ? em::SwitchState::kOn : em::SwitchState::kOff);
+}
+
+double MmTag::monostatic_gain_db(double world_bearing_rad) const {
+  const double local = pose_.to_local(world_bearing_rad);
+  return array_.monostatic_gain_db(local);
+}
+
+Complex MmTag::reflection_field(double world_in_rad,
+                                double world_out_rad) const {
+  return array_.reradiated_field(pose_.to_local(world_in_rad),
+                                 pose_.to_local(world_out_rad));
+}
+
+double MmTag::modulation_depth_db(double world_bearing_rad) const {
+  // Evaluate both switch states without disturbing the caller-visible bit.
+  VanAttaArray probe = array_;
+  probe.set_all_switches(em::SwitchState::kOff);
+  const double local = pose_.to_local(world_bearing_rad);
+  const double off_db = probe.monostatic_gain_db(local);
+  probe.set_all_switches(em::SwitchState::kOn);
+  const double on_db = probe.monostatic_gain_db(local);
+  return off_db - on_db;
+}
+
+}  // namespace mmtag::core

@@ -1,0 +1,89 @@
+#include "src/em/matching.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mmtag::em {
+
+SParams abcd_to_s(const AbcdMatrix& m, double z0_ohm) {
+  assert(z0_ohm > 0.0);
+  const Complex z0(z0_ohm, 0.0);
+  const Complex denom = m.a + m.b / z0 + m.c * z0 + m.d;
+  SParams s;
+  s.s11 = (m.a + m.b / z0 - m.c * z0 - m.d) / denom;
+  s.s12 = 2.0 * (m.a * m.d - m.b * m.c) / denom;
+  s.s21 = 2.0 / denom;
+  s.s22 = (-m.a + m.b / z0 - m.c * z0 + m.d) / denom;
+  return s;
+}
+
+AbcdMatrix s_to_abcd(const SParams& s, double z0_ohm) {
+  assert(z0_ohm > 0.0);
+  const Complex z0(z0_ohm, 0.0);
+  const Complex two_s21 = 2.0 * s.s21;
+  AbcdMatrix m;
+  m.a = ((1.0 + s.s11) * (1.0 - s.s22) + s.s12 * s.s21) / two_s21;
+  m.b = z0 * ((1.0 + s.s11) * (1.0 + s.s22) - s.s12 * s.s21) / two_s21;
+  m.c = ((1.0 - s.s11) * (1.0 - s.s22) - s.s12 * s.s21) / (two_s21 * z0);
+  m.d = ((1.0 - s.s11) * (1.0 + s.s22) + s.s12 * s.s21) / two_s21;
+  return m;
+}
+
+AbcdMatrix LSection::abcd() const {
+  // Series element: [1 jX; 0 1]. Shunt element: [1 0; jB 1].
+  AbcdMatrix series;
+  series.b = Complex(0.0, series_reactance_ohm);
+  AbcdMatrix shunt;
+  shunt.c = Complex(0.0, shunt_susceptance_s);
+  // Source side first in the cascade (input at port 1).
+  return shunt_at_load ? series.cascade(shunt) : shunt.cascade(series);
+}
+
+std::optional<LSection> design_l_section(Complex load, double source_ohm) {
+  assert(source_ohm > 0.0);
+  const double rl = load.real();
+  const double xl = load.imag();
+  if (rl <= 0.0) return std::nullopt;
+
+  LSection section;
+  if (rl >= source_ohm) {
+    // Load resistance above the source: shunt element at the load
+    // (standard Pozar case): B = (XL +- sqrt(RL/R0) sqrt(RL^2+XL^2-R0 RL))
+    //                             / (RL^2 + XL^2)
+    const double discriminant =
+        rl * rl + xl * xl - source_ohm * rl;
+    if (discriminant < 0.0) return std::nullopt;
+    const double root = std::sqrt(rl / source_ohm) * std::sqrt(discriminant);
+    const double b = (xl + root) / (rl * rl + xl * xl);
+    const double x =
+        1.0 / b + xl * source_ohm / rl - source_ohm / (b * rl);
+    section.shunt_at_load = true;
+    section.series_reactance_ohm = x;
+    section.shunt_susceptance_s = b;
+  } else {
+    // Load resistance below the source: series element at the load.
+    const double discriminant = rl * (source_ohm - rl);
+    if (discriminant < 0.0) return std::nullopt;
+    const double x = std::sqrt(discriminant) - xl;
+    const double b =
+        std::sqrt((source_ohm - rl) / rl) / source_ohm;
+    section.shunt_at_load = false;
+    section.series_reactance_ohm = x;
+    section.shunt_susceptance_s = b;
+  }
+  return section;
+}
+
+Complex matched_input_impedance(const LSection& section, Complex load) {
+  if (section.shunt_at_load) {
+    // Shunt B across the load, then series X toward the source.
+    const Complex shunted =
+        1.0 / (1.0 / load + Complex(0.0, section.shunt_susceptance_s));
+    return shunted + Complex(0.0, section.series_reactance_ohm);
+  }
+  // Series X at the load, then shunt B toward the source.
+  const Complex seriesed = load + Complex(0.0, section.series_reactance_ohm);
+  return 1.0 / (1.0 / seriesed + Complex(0.0, section.shunt_susceptance_s));
+}
+
+}  // namespace mmtag::em

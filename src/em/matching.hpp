@@ -1,0 +1,56 @@
+// Impedance matching: two-port S-parameters and L-section design.
+//
+// The prototype's patches are fed through 50-ohm lines, but nothing in a
+// real layout is exactly 50 ohm — the fabricated board needs matching
+// structures, and HFSS users spend much of their time on exactly this.
+// This module provides the textbook tools: S <-> ABCD conversions for
+// two-ports and closed-form lossless L-section design (series + shunt
+// reactance) matching an arbitrary complex load to a real source.
+#pragma once
+
+#include <optional>
+
+#include "src/em/transmission_line.hpp"
+
+namespace mmtag::em {
+
+/// Two-port scattering parameters against a real reference impedance.
+struct SParams {
+  Complex s11, s12, s21, s22;
+};
+
+/// Convert an ABCD matrix to S-parameters against `z0_ohm`.
+[[nodiscard]] SParams abcd_to_s(const AbcdMatrix& abcd, double z0_ohm);
+
+/// Convert S-parameters back to an ABCD matrix against `z0_ohm`.
+[[nodiscard]] AbcdMatrix s_to_abcd(const SParams& s, double z0_ohm);
+
+/// One lossless L-section: a series reactance followed by a shunt
+/// susceptance (or the reverse, depending on the load region).
+struct LSection {
+  /// Series element reactance [ohm] (positive = inductive).
+  double series_reactance_ohm = 0.0;
+  /// Shunt element susceptance [S] (positive = capacitive).
+  double shunt_susceptance_s = 0.0;
+  /// True when the shunt element faces the load (load inside the 1+jx
+  /// circle), false when it faces the source.
+  bool shunt_at_load = false;
+
+  /// Realize the section as an ABCD matrix at any frequency (the element
+  /// values are reactances at the design frequency, so this matrix is
+  /// only exact there).
+  [[nodiscard]] AbcdMatrix abcd() const;
+};
+
+/// Design a lossless L-section matching complex `load` to real `source`
+/// impedance. Returns nullopt for degenerate inputs (load with zero real
+/// part cannot absorb power and cannot be matched).
+[[nodiscard]] std::optional<LSection> design_l_section(Complex load,
+                                                       double source_ohm);
+
+/// Input impedance of `section` terminated by `load` — used to verify a
+/// design: should equal the source resistance at the design frequency.
+[[nodiscard]] Complex matched_input_impedance(const LSection& section,
+                                              Complex load);
+
+}  // namespace mmtag::em

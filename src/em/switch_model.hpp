@@ -1,0 +1,53 @@
+// Two-state model of the tag's RF switch (CEL CE3520K3 FET, paper Sec. 7).
+//
+// The switch sits in shunt between a patch element and ground (paper Fig. 4):
+//
+//   * OFF — the FET presents only a tiny drain-source capacitance; the patch
+//     stays tuned and the element reflects normally ("data 0").
+//   * ON  — the FET shorts the patch to ground through its on-resistance and
+//     bond/via inductance; the element detunes and stops re-radiating
+//     ("data 1").
+//
+// The observable consequences are the two S11 curves of Fig. 6 and the OOK
+// modulation depth. The energy model (gate charge * drive voltage per
+// toggle) feeds experiment C4 (energy per bit).
+#pragma once
+
+#include "src/em/impedance.hpp"
+
+namespace mmtag::em {
+
+/// Logical state of the shunt FET.
+enum class SwitchState { kOff, kOn };
+
+/// Shunt RF switch: impedance it adds across the patch in each state.
+class RfSwitch {
+ public:
+  struct Params {
+    double on_resistance_ohm = 15.0;   ///< FET channel + contact resistance.
+    double on_inductance_h = 0.15e-9;  ///< Bond/via inductance to ground.
+    double off_capacitance_f = 25e-15; ///< Drain-source off capacitance.
+    double gate_charge_c = 1.5e-12;    ///< Total gate charge per switching.
+    double drive_voltage_v = 2.0;      ///< Gate drive swing.
+  };
+
+  explicit RfSwitch(Params params);
+
+  /// Datasheet-flavoured defaults for the CE3520K3-class FET the paper uses.
+  [[nodiscard]] static RfSwitch ce3520k3();
+
+  /// Shunt impedance presented by the switch in `state` at `frequency_hz`.
+  [[nodiscard]] Complex shunt_impedance(SwitchState state,
+                                        double frequency_hz) const;
+
+  /// Energy drawn from the control line per on/off transition [J]:
+  /// E = Qg * Vdrive. This is the only energy the tag spends per bit edge.
+  [[nodiscard]] double energy_per_toggle_j() const;
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace mmtag::em

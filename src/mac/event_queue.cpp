@@ -1,0 +1,36 @@
+#include "src/mac/event_queue.hpp"
+
+#include <cassert>
+
+namespace mmtag::mac {
+
+void EventQueue::schedule(double at_s, Action action) {
+  assert(at_s >= now_s_ && "cannot schedule into the past");
+  heap_.push(Event{at_s, next_seq_++, std::move(action)});
+}
+
+void EventQueue::schedule_in(double delay_s, Action action) {
+  assert(delay_s >= 0.0);
+  schedule(now_s_ + delay_s, std::move(action));
+}
+
+std::size_t EventQueue::run(double until_s) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().at_s <= until_s) {
+    // priority_queue::top() is const; move out via const_cast-free copy of
+    // the action after popping the metadata.
+    Event event = heap_.top();
+    heap_.pop();
+    now_s_ = event.at_s;
+    event.action();
+    ++executed;
+  }
+  // Advance the clock to the horizon even when events remain beyond it —
+  // run(t) means "simulate up to time t".
+  if (until_s < kForever && now_s_ < until_s) {
+    now_s_ = until_s;
+  }
+  return executed;
+}
+
+}  // namespace mmtag::mac

@@ -1,0 +1,56 @@
+// Minimal discrete-event engine for MAC simulations.
+//
+// Events are (time, sequence, action) triples executed in time order;
+// the sequence number makes simultaneous events deterministic (FIFO within
+// a timestamp), which keeps every MAC experiment reproducible under a fixed
+// RNG seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mmtag::mac {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `action` at absolute time `at_s` (must not precede now()).
+  void schedule(double at_s, Action action);
+
+  /// Schedule `action` `delay_s` seconds from now.
+  void schedule_in(double delay_s, Action action);
+
+  /// Run until the queue drains or `until_s` is reached (infinity = drain).
+  /// Returns the number of events executed.
+  std::size_t run(double until_s = kForever);
+
+  /// Current simulation time [s]. Starts at 0.
+  [[nodiscard]] double now() const { return now_s_; }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  static constexpr double kForever = 1.0e300;
+
+ private:
+  struct Event {
+    double at_s;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at_s != b.at_s) return a.at_s > b.at_s;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  double now_s_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mmtag::mac

@@ -1,0 +1,53 @@
+#include "src/mac/tdma.hpp"
+
+#include <cassert>
+
+namespace mmtag::mac {
+
+double TdmaSchedule::share(std::size_t reader_index) const {
+  assert(reader_index < slots.size());
+  if (superframe_s <= 0.0) return 0.0;
+  return slots[reader_index].duration_s / superframe_s;
+}
+
+TdmaCoordinator::TdmaCoordinator(double superframe_s, double guard_s)
+    : superframe_s_(superframe_s), guard_s_(guard_s) {
+  assert(superframe_s_ > 0.0);
+  assert(guard_s_ >= 0.0);
+}
+
+TdmaSchedule TdmaCoordinator::build(
+    const std::vector<TdmaReaderDemand>& demands) const {
+  TdmaSchedule schedule;
+  schedule.superframe_s = superframe_s_;
+  if (demands.empty()) return schedule;
+
+  double total_weight = 0.0;
+  for (const TdmaReaderDemand& demand : demands) {
+    assert(demand.weight >= 0.0);
+    total_weight += demand.weight;
+  }
+  const double guard_total = guard_s_ * static_cast<double>(demands.size());
+  const double usable =
+      superframe_s_ > guard_total ? superframe_s_ - guard_total : 0.0;
+
+  double cursor = 0.0;
+  for (const TdmaReaderDemand& demand : demands) {
+    TdmaSlotAssignment slot;
+    slot.reader = demand.name;
+    slot.start_s = cursor + guard_s_;
+    slot.duration_s =
+        total_weight > 0.0 ? usable * demand.weight / total_weight : 0.0;
+    cursor = slot.start_s + slot.duration_s;
+    schedule.slots.push_back(std::move(slot));
+  }
+  return schedule;
+}
+
+double TdmaCoordinator::effective_rate_bps(const TdmaSchedule& schedule,
+                                           const TdmaReaderDemand& demand,
+                                           std::size_t reader_index) {
+  return demand.solo_rate_bps * schedule.share(reader_index);
+}
+
+}  // namespace mmtag::mac

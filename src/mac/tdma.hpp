@@ -1,0 +1,60 @@
+// TDM coordination of multiple readers — the conclusion experiment E6
+// forces: same-channel simultaneous readers cannot coexist at room scale,
+// and the 24 GHz ISM band holds only one 2 GHz channel, so dense gigabit
+// deployments must take turns.
+//
+// The coordinator assigns repeating time slots to readers, weighted by
+// demand (tags served), and reports each reader's airtime share and
+// effective rate — the scheduling half of the "MAC protocol" future work
+// (paper Sec. 9).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mmtag::mac {
+
+struct TdmaReaderDemand {
+  std::string name;
+  double solo_rate_bps = 0.0;  ///< Rate the reader gets when alone.
+  double weight = 1.0;         ///< Scheduling weight (e.g. tags served).
+};
+
+struct TdmaSlotAssignment {
+  std::string reader;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+};
+
+struct TdmaSchedule {
+  std::vector<TdmaSlotAssignment> slots;  ///< One superframe.
+  double superframe_s = 0.0;
+
+  /// Airtime fraction assigned to `reader_index` (matching the demand
+  /// order used to build the schedule).
+  [[nodiscard]] double share(std::size_t reader_index) const;
+};
+
+class TdmaCoordinator {
+ public:
+  /// `superframe_s` — schedule period; `guard_s` — dead time charged at
+  /// each slot boundary (radio retune).
+  TdmaCoordinator(double superframe_s, double guard_s);
+
+  /// Build one superframe: each reader gets a contiguous slot whose length
+  /// is proportional to its weight, minus the guard.
+  [[nodiscard]] TdmaSchedule build(
+      const std::vector<TdmaReaderDemand>& demands) const;
+
+  /// Effective rate reader `i` sees under `schedule`:
+  /// solo rate x airtime share.
+  [[nodiscard]] static double effective_rate_bps(
+      const TdmaSchedule& schedule, const TdmaReaderDemand& demand,
+      std::size_t reader_index);
+
+ private:
+  double superframe_s_;
+  double guard_s_;
+};
+
+}  // namespace mmtag::mac

@@ -1,0 +1,66 @@
+#include "src/net/arq.hpp"
+
+#include <cassert>
+
+namespace mmtag::net {
+
+double ArqStats::efficiency() const {
+  if (transmissions == 0) return 0.0;
+  return static_cast<double>(frames_delivered) /
+         static_cast<double>(transmissions);
+}
+
+ArqStats run_stop_and_wait(int frame_count,
+                           double frame_success_probability,
+                           const ArqConfig& config, std::mt19937_64& rng) {
+  assert(frame_count >= 0);
+  assert(frame_success_probability >= 0.0 &&
+         frame_success_probability <= 1.0);
+  ArqStats stats;
+  stats.frames_offered = frame_count;
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  for (int f = 0; f < frame_count; ++f) {
+    bool delivered = false;
+    for (int attempt = 0; attempt < config.max_attempts_per_frame;
+         ++attempt) {
+      if (attempt > 0 && coin(rng) < config.query_loss_probability) {
+        // The re-query itself was lost; the tag never replayed. The slot
+        // is spent but no tag transmission happened.
+        ++stats.query_failures;
+        continue;
+      }
+      ++stats.transmissions;
+      if (coin(rng) < frame_success_probability) {
+        delivered = true;
+        break;
+      }
+    }
+    if (delivered) {
+      ++stats.frames_delivered;
+    } else {
+      ++stats.frames_failed;
+    }
+  }
+  return stats;
+}
+
+double expected_transmissions_per_frame(double frame_success_probability,
+                                        const ArqConfig& config) {
+  assert(frame_success_probability > 0.0);
+  // Each retry round succeeds in reaching the tag with probability
+  // (1 - q); the effective per-round success is p * (1 - q) after the
+  // first round. Approximate with the dominant geometric term.
+  const double q = config.query_loss_probability;
+  const double p_eff = frame_success_probability * (1.0 - q);
+  return 1.0 / p_eff;
+}
+
+double arq_goodput_factor(double frame_success_probability,
+                          const ArqConfig& config) {
+  if (frame_success_probability <= 0.0) return 0.0;
+  return 1.0 /
+         expected_transmissions_per_frame(frame_success_probability, config);
+}
+
+}  // namespace mmtag::net

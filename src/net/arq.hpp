@@ -1,0 +1,51 @@
+// Stop-and-wait ARQ over the backscatter link.
+//
+// A backscatter tag cannot hear NACKs the way an active radio can, but the
+// reader *is* the carrier source: it simply re-queries a frame whose CRC
+// failed, and the tag (which keeps its data in a shift register) replays
+// it. That loop is exactly stop-and-wait ARQ with the reader as the
+// arbiter. This module simulates the retransmission process over a lossy
+// frame channel and supplies the closed-form efficiency the session layer
+// uses.
+#pragma once
+
+#include <random>
+
+namespace mmtag::net {
+
+struct ArqConfig {
+  int max_attempts_per_frame = 16;  ///< Give up on a frame after this many.
+  /// Reader->tag re-query corruption probability (the query is short and
+  /// strong, but not immune).
+  double query_loss_probability = 0.01;
+};
+
+struct ArqStats {
+  int frames_offered = 0;
+  int frames_delivered = 0;
+  long transmissions = 0;      ///< Tag frame transmissions, retries included.
+  long query_failures = 0;     ///< Re-queries lost before the tag replayed.
+  int frames_failed = 0;       ///< Exceeded the attempt budget.
+
+  /// Delivered frames per transmission (<= 1; the ARQ efficiency).
+  [[nodiscard]] double efficiency() const;
+};
+
+/// Simulate transferring `frame_count` frames, each transmission
+/// independently succeeding with `frame_success_probability`.
+[[nodiscard]] ArqStats run_stop_and_wait(int frame_count,
+                                         double frame_success_probability,
+                                         const ArqConfig& config,
+                                         std::mt19937_64& rng);
+
+/// Closed form: expected transmissions per delivered frame for success
+/// probability `p` (geometric mean 1/p), query losses folded in.
+[[nodiscard]] double expected_transmissions_per_frame(
+    double frame_success_probability, const ArqConfig& config);
+
+/// Goodput factor: payload delivered per unit airtime relative to a
+/// loss-free link = p_effective (inverse of expected transmissions).
+[[nodiscard]] double arq_goodput_factor(double frame_success_probability,
+                                        const ArqConfig& config);
+
+}  // namespace mmtag::net

@@ -1,0 +1,73 @@
+#include "src/net/fragmentation.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mmtag::net {
+
+std::vector<phy::TagFrame> fragment_payload(std::uint32_t tag_id,
+                                            const phy::BitVector& payload,
+                                            std::size_t mtu_bits) {
+  assert(mtu_bits > kFragmentHeaderBits);
+  const std::size_t chunk_bits = mtu_bits - kFragmentHeaderBits;
+  std::size_t total = (payload.size() + chunk_bits - 1) / chunk_bits;
+  if (total == 0) total = 1;  // Header-only frame for an empty payload.
+  assert(total <= kMaxFragments);
+
+  std::vector<phy::TagFrame> frames;
+  frames.reserve(total);
+  for (std::size_t seq = 0; seq < total; ++seq) {
+    phy::TagFrame frame;
+    frame.tag_id = tag_id;
+    phy::append_uint(frame.payload, static_cast<std::uint32_t>(seq), 12);
+    phy::append_uint(frame.payload, static_cast<std::uint32_t>(total), 12);
+    const std::size_t begin = seq * chunk_bits;
+    const std::size_t end = std::min(payload.size(), begin + chunk_bits);
+    for (std::size_t i = begin; i < end; ++i) {
+      frame.payload.push_back(payload[i]);
+    }
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+bool Reassembler::accept(const phy::TagFrame& frame) {
+  if (frame.payload.size() < kFragmentHeaderBits) return false;
+  std::size_t offset = 0;
+  const std::uint32_t seq = phy::read_uint(frame.payload, offset, 12);
+  const std::uint32_t total = phy::read_uint(frame.payload, offset, 12);
+  if (total == 0 || seq >= total) return false;
+
+  if (!initialized_) {
+    initialized_ = true;
+    tag_id_ = frame.tag_id;
+    expected_ = total;
+    chunks_.assign(expected_, std::nullopt);
+  } else {
+    if (frame.tag_id != tag_id_) return false;
+    if (total != expected_) return false;
+  }
+
+  auto& slot = chunks_[seq];
+  if (slot.has_value()) return true;  // Duplicate: fine, ignore.
+  slot.emplace(frame.payload.begin() +
+                   static_cast<std::ptrdiff_t>(kFragmentHeaderBits),
+               frame.payload.end());
+  ++received_;
+  return true;
+}
+
+bool Reassembler::complete() const {
+  return initialized_ && received_ == expected_;
+}
+
+std::optional<phy::BitVector> Reassembler::payload() const {
+  if (!complete()) return std::nullopt;
+  phy::BitVector out;
+  for (const auto& chunk : chunks_) {
+    out.insert(out.end(), chunk->begin(), chunk->end());
+  }
+  return out;
+}
+
+}  // namespace mmtag::net

@@ -1,0 +1,59 @@
+// Payload fragmentation and reassembly.
+//
+// The paper's motivating applications (AR lenses, neural probes — Sec. 1)
+// move payloads far larger than one tag frame. This module splits a
+// payload across frames with a small sequencing header and reassembles on
+// the reader side, tolerating duplicates and out-of-order arrival (ARQ
+// retransmissions reorder naturally).
+//
+// Fragment payload layout (inside TagFrame::payload):
+//   [ seq 12 bits | total 12 bits | chunk bits... ]
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/phy/frame.hpp"
+
+namespace mmtag::net {
+
+/// Bits consumed by the fragment header inside each frame payload.
+inline constexpr std::size_t kFragmentHeaderBits = 24;
+
+/// Maximum fragments per payload (12-bit counter).
+inline constexpr std::size_t kMaxFragments = 4095;
+
+/// Split `payload` into frames whose *frame payloads* are at most
+/// `mtu_bits` (header included; `mtu_bits` must exceed the header).
+/// An empty payload still produces one header-only frame so the receiver
+/// learns it is complete.
+[[nodiscard]] std::vector<phy::TagFrame> fragment_payload(
+    std::uint32_t tag_id, const phy::BitVector& payload,
+    std::size_t mtu_bits);
+
+/// Reassembles one payload from fragments. Duplicates are ignored;
+/// fragments may arrive in any order.
+class Reassembler {
+ public:
+  /// Accept one frame. Returns false when the frame is not a valid
+  /// fragment (header truncated, inconsistent total, wrong tag).
+  bool accept(const phy::TagFrame& frame);
+
+  /// True once every fragment has arrived.
+  [[nodiscard]] bool complete() const;
+
+  /// The reassembled payload once complete() (nullopt before).
+  [[nodiscard]] std::optional<phy::BitVector> payload() const;
+
+  [[nodiscard]] std::size_t fragments_received() const { return received_; }
+  [[nodiscard]] std::size_t fragments_expected() const { return expected_; }
+
+ private:
+  std::vector<std::optional<phy::BitVector>> chunks_;
+  std::size_t expected_ = 0;
+  std::size_t received_ = 0;
+  bool initialized_ = false;
+  std::uint32_t tag_id_ = 0;
+};
+
+}  // namespace mmtag::net

@@ -1,0 +1,38 @@
+// Bit-error-rate mathematics.
+//
+// The paper converts measured powers to data rates via "standard data rate
+// tables based on the ASK modulation and BER of 1e-3", noting ASK needs
+// SNR = 7 dB for BER 1e-3 (Sec. 8, citing Grami). These closed forms
+// provide that table; the Monte-Carlo path in src/sim validates them at
+// waveform level (experiment E4).
+//
+// Conventions: `snr_db` is average-signal-power to noise-power in the
+// symbol bandwidth. OOK with equiprobable bits has peak power 2x average.
+#pragma once
+
+namespace mmtag::phy {
+
+/// Gaussian tail function Q(x) = P(N(0,1) > x).
+[[nodiscard]] double q_function(double x);
+
+/// Inverse of q_function on (0, 0.5), by bisection.
+[[nodiscard]] double q_function_inverse(double p);
+
+/// BER of coherent OOK/ASK at average SNR `snr_db`:
+///   Pb = Q( sqrt(SNR) )  (decision distance d/2 with d = A, noise sigma).
+[[nodiscard]] double ook_coherent_ber(double snr_db);
+
+/// BER of noncoherent (envelope-detected) OOK at average SNR `snr_db`:
+///   Pb ~ 0.5 * exp(-SNR/2), the standard high-SNR approximation.
+[[nodiscard]] double ook_noncoherent_ber(double snr_db);
+
+/// BER of coherent BPSK: Pb = Q( sqrt(2*SNR) ). (RFID baseline modulation.)
+[[nodiscard]] double bpsk_ber(double snr_db);
+
+/// SNR [dB] needed for coherent OOK/ASK to reach `target_ber`. For
+/// target 1e-3 this returns ~9.8 dB of *average* SNR; the paper's 7 dB
+/// figure counts peak-ish SNR — both conventions are exercised in tests and
+/// the rate table uses the paper's own constant for fidelity.
+[[nodiscard]] double ook_snr_for_ber_db(double target_ber);
+
+}  // namespace mmtag::phy

@@ -1,0 +1,33 @@
+#include "src/phy/crc.hpp"
+
+namespace mmtag::phy {
+
+std::uint16_t crc16_ccitt(const BitVector& bits) {
+  std::uint16_t crc = 0xFFFF;
+  for (const bool bit : bits) {
+    const bool msb = (crc & 0x8000) != 0;
+    crc = static_cast<std::uint16_t>(crc << 1);
+    if (msb != bit) crc ^= 0x1021;
+  }
+  return crc;
+}
+
+void append_crc16(BitVector& bits) {
+  const std::uint16_t crc = crc16_ccitt(bits);
+  for (int i = 15; i >= 0; --i) {
+    bits.push_back(((crc >> i) & 1) != 0);
+  }
+}
+
+bool check_crc16(const BitVector& bits) {
+  if (bits.size() < 16) return false;
+  BitVector payload(bits.begin(), bits.end() - 16);
+  const std::uint16_t expected = crc16_ccitt(payload);
+  std::uint16_t received = 0;
+  for (std::size_t i = bits.size() - 16; i < bits.size(); ++i) {
+    received = static_cast<std::uint16_t>((received << 1) | (bits[i] ? 1 : 0));
+  }
+  return expected == received;
+}
+
+}  // namespace mmtag::phy

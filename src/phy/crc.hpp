@@ -1,0 +1,26 @@
+// CRC-16/CCITT-FALSE over bit streams.
+//
+// Frames from the tag carry a 16-bit CRC so the reader can reject corrupted
+// reads (the MAC layer counts a failed CRC as a lost slot, the same way EPC
+// Gen2 readers do). Implemented bitwise so it applies directly to the
+// demodulated BitVector without byte packing.
+#pragma once
+
+#include <cstdint>
+
+#include "src/phy/ook.hpp"
+
+namespace mmtag::phy {
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF, no reflection, no xorout)
+/// computed MSB-first over `bits`.
+[[nodiscard]] std::uint16_t crc16_ccitt(const BitVector& bits);
+
+/// Append the 16 CRC bits (MSB first) of `bits` to `bits`.
+void append_crc16(BitVector& bits);
+
+/// True if `bits` (payload + trailing 16 CRC bits) verifies. Inputs shorter
+/// than 16 bits fail.
+[[nodiscard]] bool check_crc16(const BitVector& bits);
+
+}  // namespace mmtag::phy

@@ -1,0 +1,136 @@
+#include "src/phy/fft.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/phys/constants.hpp"
+
+namespace mmtag::phy {
+
+void fft(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  assert(n >= 1 && (n & (n - 1)) == 0 && "size must be a power of two");
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 1.0 : -1.0) * phys::kTwoPi / static_cast<double>(len);
+    const Complex w_len = std::polar(1.0, angle);
+    for (std::size_t start = 0; start < n; start += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex even = data[start + k];
+        const Complex odd = data[start + k + len / 2] * w;
+        data[start + k] = even + odd;
+        data[start + k + len / 2] = even - odd;
+        w *= w_len;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (Complex& x : data) x *= scale;
+  }
+}
+
+std::size_t next_pow2(std::size_t n) {
+  assert(n >= 1);
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::vector<double> power_spectrum(std::span<const Complex> samples,
+                                   double sample_rate_hz,
+                                   std::vector<double>& frequencies_hz) {
+  assert(!samples.empty());
+  assert(sample_rate_hz > 0.0);
+  const std::size_t n = next_pow2(samples.size());
+  std::vector<Complex> padded(n, Complex(0.0, 0.0));
+  // Hann window over the real sample span.
+  const std::size_t m = samples.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double window =
+        0.5 * (1.0 - std::cos(phys::kTwoPi * i / (m > 1 ? m - 1 : 1)));
+    padded[i] = samples[i] * window;
+  }
+  fft(padded);
+
+  // Reorder to ascending frequency: [-fs/2, fs/2).
+  std::vector<double> spectrum(n);
+  frequencies_hz.resize(n);
+  double peak = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t source = (i + n / 2) % n;
+    spectrum[i] = std::norm(padded[source]);
+    frequencies_hz[i] =
+        (static_cast<double>(i) - static_cast<double>(n / 2)) *
+        sample_rate_hz / static_cast<double>(n);
+    peak = std::max(peak, spectrum[i]);
+  }
+  if (peak > 0.0) {
+    for (double& s : spectrum) s /= peak;
+  }
+  return spectrum;
+}
+
+double occupied_bandwidth_hz(std::span<const double> spectrum,
+                             std::span<const double> frequencies_hz,
+                             double fraction) {
+  assert(spectrum.size() == frequencies_hz.size());
+  assert(fraction > 0.0 && fraction <= 1.0);
+  double total = 0.0;
+  for (const double s : spectrum) total += s;
+  if (total <= 0.0) return 0.0;
+
+  // Power centroid.
+  double centroid = 0.0;
+  for (std::size_t i = 0; i < spectrum.size(); ++i) {
+    centroid += spectrum[i] * frequencies_hz[i];
+  }
+  centroid /= total;
+
+  // Grow a symmetric window around the centroid bin until it holds the
+  // requested fraction.
+  std::size_t center = 0;
+  double best = 1e300;
+  for (std::size_t i = 0; i < frequencies_hz.size(); ++i) {
+    const double d = std::abs(frequencies_hz[i] - centroid);
+    if (d < best) {
+      best = d;
+      center = i;
+    }
+  }
+  double acc = spectrum[center];
+  std::size_t radius = 0;
+  while (acc < fraction * total) {
+    ++radius;
+    bool grew = false;
+    if (center >= radius) {
+      acc += spectrum[center - radius];
+      grew = true;
+    }
+    if (center + radius < spectrum.size()) {
+      acc += spectrum[center + radius];
+      grew = true;
+    }
+    if (!grew) break;
+  }
+  const double bin_hz = frequencies_hz.size() > 1
+                            ? frequencies_hz[1] - frequencies_hz[0]
+                            : 0.0;
+  return (2.0 * static_cast<double>(radius) + 1.0) * bin_hz;
+}
+
+}  // namespace mmtag::phy

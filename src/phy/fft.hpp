@@ -1,0 +1,37 @@
+// Radix-2 FFT and spectrum estimation.
+//
+// The prototype's reader *is* a spectrum analyzer; this gives the library
+// one too. Used to verify the pulse-shaping module's occupied-bandwidth
+// claims from the waveform itself and to inspect modulated tag signals the
+// way the paper's bench instrument displayed them.
+#pragma once
+
+#include <vector>
+
+#include "src/phy/waveform.hpp"
+
+namespace mmtag::phy {
+
+/// In-place iterative radix-2 decimation-in-time FFT. `data.size()` must
+/// be a power of two. `inverse` applies the conjugate transform and 1/N
+/// scaling, so fft(fft(x), true) == x.
+void fft(std::vector<Complex>& data, bool inverse = false);
+
+/// Next power of two >= n (n >= 1).
+[[nodiscard]] std::size_t next_pow2(std::size_t n);
+
+/// Power spectrum of `samples` at `sample_rate_hz`: Hann-windowed,
+/// zero-padded to a power of two. Returns |X(f)|^2 normalized so the peak
+/// bin is 1, with `frequencies_hz` filled with the two-sided bin centres
+/// in ascending order (-fs/2 .. +fs/2), spectrum reordered to match.
+[[nodiscard]] std::vector<double> power_spectrum(
+    std::span<const Complex> samples, double sample_rate_hz,
+    std::vector<double>& frequencies_hz);
+
+/// Two-sided bandwidth containing `fraction` (e.g. 0.99) of the total
+/// spectral power, centred on the power centroid [Hz].
+[[nodiscard]] double occupied_bandwidth_hz(
+    std::span<const double> spectrum, std::span<const double> frequencies_hz,
+    double fraction = 0.99);
+
+}  // namespace mmtag::phy

@@ -1,0 +1,35 @@
+#include "src/phy/fm0.hpp"
+
+namespace mmtag::phy {
+
+BitVector fm0_encode(const BitVector& bits) {
+  BitVector chips;
+  chips.reserve(bits.size() * 2);
+  bool level = true;  // Convention: idle high before the first bit.
+  for (const bool bit : bits) {
+    level = !level;          // Mandatory inversion at the bit boundary.
+    chips.push_back(level);
+    if (!bit) level = !level;  // '0' inverts again mid-bit.
+    chips.push_back(level);
+  }
+  return chips;
+}
+
+std::optional<BitVector> fm0_decode(const BitVector& chips) {
+  if (chips.size() % 2 != 0) return std::nullopt;
+  BitVector bits;
+  bits.reserve(chips.size() / 2);
+  bool level = true;  // Matches the encoder's idle-high convention.
+  for (std::size_t i = 0; i < chips.size(); i += 2) {
+    const bool first = chips[i];
+    const bool second = chips[i + 1];
+    // The first chip must be an inversion of the previous level.
+    if (first == level) return std::nullopt;
+    // Same halves -> '1'; inverted halves -> '0'.
+    bits.push_back(first == second);
+    level = second;
+  }
+  return bits;
+}
+
+}  // namespace mmtag::phy

@@ -1,0 +1,85 @@
+#include "src/phy/frame.hpp"
+
+#include <cassert>
+
+#include "src/phy/crc.hpp"
+
+namespace mmtag::phy {
+
+namespace {
+constexpr std::size_t kPreambleBits = 16;
+constexpr int kIdBits = 32;
+constexpr int kLengthBits = 16;
+constexpr std::size_t kCrcBits = 16;
+}  // namespace
+
+void append_uint(BitVector& bits, std::uint32_t value, int width) {
+  assert(width >= 1 && width <= 32);
+  for (int i = width - 1; i >= 0; --i) {
+    bits.push_back(((value >> i) & 1u) != 0);
+  }
+}
+
+std::uint32_t read_uint(const BitVector& bits, std::size_t& offset,
+                        int width) {
+  assert(width >= 1 && width <= 32);
+  assert(offset + static_cast<std::size_t>(width) <= bits.size());
+  std::uint32_t value = 0;
+  for (int i = 0; i < width; ++i) {
+    value = (value << 1) | (bits[offset++] ? 1u : 0u);
+  }
+  return value;
+}
+
+BitVector TagFrame::preamble() {
+  BitVector bits;
+  bits.reserve(kPreambleBits);
+  for (std::size_t i = 0; i < kPreambleBits; ++i) {
+    bits.push_back(i % 2 == 0);  // 1010... starting with 1.
+  }
+  return bits;
+}
+
+BitVector TagFrame::serialize() const {
+  assert(payload.size() <= 0xFFFF);
+  BitVector body;
+  append_uint(body, tag_id, kIdBits);
+  append_uint(body, static_cast<std::uint32_t>(payload.size()), kLengthBits);
+  body.insert(body.end(), payload.begin(), payload.end());
+  append_crc16(body);
+
+  BitVector frame = preamble();
+  frame.insert(frame.end(), body.begin(), body.end());
+  return frame;
+}
+
+std::optional<TagFrame> TagFrame::parse(const BitVector& bits) {
+  const BitVector expected_preamble = preamble();
+  if (bits.size() < kPreambleBits + kIdBits + kLengthBits + kCrcBits) {
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < kPreambleBits; ++i) {
+    if (bits[i] != expected_preamble[i]) return std::nullopt;
+  }
+  const BitVector body(bits.begin() + kPreambleBits, bits.end());
+  std::size_t offset = 0;
+  TagFrame frame;
+  frame.tag_id = read_uint(body, offset, kIdBits);
+  const std::uint32_t length = read_uint(body, offset, kLengthBits);
+  if (body.size() < offset + length + kCrcBits) return std::nullopt;
+  frame.payload.assign(body.begin() + static_cast<std::ptrdiff_t>(offset),
+                       body.begin() +
+                           static_cast<std::ptrdiff_t>(offset + length));
+  // CRC covers id + length + payload.
+  const BitVector covered(body.begin(),
+                          body.begin() + static_cast<std::ptrdiff_t>(
+                                             offset + length + kCrcBits));
+  if (!check_crc16(covered)) return std::nullopt;
+  return frame;
+}
+
+std::size_t TagFrame::frame_bits(std::size_t payload_bits) {
+  return kPreambleBits + kIdBits + kLengthBits + payload_bits + kCrcBits;
+}
+
+}  // namespace mmtag::phy

@@ -1,0 +1,50 @@
+// Tag air frame: preamble + tag id + length + payload + CRC-16.
+//
+// The paper evaluates raw reflected power; a usable network needs framing
+// so the reader can find symbol boundaries and attribute data to a tag.
+// The frame is deliberately minimal (backscatter tags cannot afford
+// elaborate headers):
+//
+//   [ preamble 16 bits | tag id 32 | payload length 16 | payload | crc 16 ]
+//
+// The alternating preamble also gives the blind OOK threshold estimator a
+// guaranteed mix of high and low symbols.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/phy/ook.hpp"
+
+namespace mmtag::phy {
+
+struct TagFrame {
+  std::uint32_t tag_id = 0;
+  BitVector payload;
+
+  /// Fixed 16-bit alternating preamble (1010...).
+  [[nodiscard]] static BitVector preamble();
+
+  /// Serialize to the on-air bit layout (preamble through CRC).
+  [[nodiscard]] BitVector serialize() const;
+
+  /// Parse a serialized frame. Returns nullopt on truncated input, bad
+  /// preamble or CRC failure.
+  [[nodiscard]] static std::optional<TagFrame> parse(const BitVector& bits);
+
+  /// Total on-air bits for a `payload_bits`-bit payload.
+  [[nodiscard]] static std::size_t frame_bits(std::size_t payload_bits);
+
+  [[nodiscard]] bool operator==(const TagFrame& other) const {
+    return tag_id == other.tag_id && payload == other.payload;
+  }
+};
+
+/// Append `width` bits of `value`, MSB first.
+void append_uint(BitVector& bits, std::uint32_t value, int width);
+
+/// Read `width` bits starting at `offset` (MSB first); advances `offset`.
+[[nodiscard]] std::uint32_t read_uint(const BitVector& bits,
+                                      std::size_t& offset, int width);
+
+}  // namespace mmtag::phy

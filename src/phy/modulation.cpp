@@ -1,0 +1,145 @@
+#include "src/phy/modulation.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "src/phy/ber.hpp"
+#include "src/phys/units.hpp"
+
+namespace mmtag::phy {
+
+std::string scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kOok:
+      return "OOK";
+    case Scheme::kAsk4:
+      return "4-ASK";
+    case Scheme::kBpsk:
+      return "BPSK";
+    case Scheme::kQpsk:
+      return "QPSK";
+  }
+  return "?";
+}
+
+int bits_per_symbol(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kOok:
+    case Scheme::kBpsk:
+      return 1;
+    case Scheme::kAsk4:
+    case Scheme::kQpsk:
+      return 2;
+  }
+  return 1;
+}
+
+std::vector<Complex> constellation(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kOok: {
+      // Paper polarity: bit 0 -> reflect (high), bit 1 -> absorb.
+      const double high = std::sqrt(2.0);  // Unit average power.
+      return {Complex(high, 0.0), Complex(0.0, 0.0)};
+    }
+    case Scheme::kAsk4: {
+      // Unipolar levels 0, d, 2d, 3d with E[l^2] = 3.5 d^2 = 1.
+      const double d = std::sqrt(1.0 / 3.5);
+      // Indexed by bit pattern; Gray order 00,01,11,10 -> levels 0,1,2,3.
+      return {Complex(0.0, 0.0),      // 00
+              Complex(d, 0.0),        // 01
+              Complex(3.0 * d, 0.0),  // 10 -> level 3
+              Complex(2.0 * d, 0.0)}; // 11 -> level 2
+    }
+    case Scheme::kBpsk:
+      return {Complex(1.0, 0.0), Complex(-1.0, 0.0)};
+    case Scheme::kQpsk: {
+      const double a = 1.0 / std::sqrt(2.0);
+      // Bit pattern (b0 b1) -> ((1-2*b0) + j(1-2*b1)) / sqrt(2): Gray.
+      return {Complex(a, a), Complex(a, -a), Complex(-a, a),
+              Complex(-a, -a)};
+    }
+  }
+  return {};
+}
+
+double scheme_ber(Scheme scheme, double snr_db) {
+  const double snr = phys::db_to_ratio(snr_db);
+  switch (scheme) {
+    case Scheme::kOok:
+      return q_function(std::sqrt(snr));
+    case Scheme::kBpsk:
+      return q_function(std::sqrt(2.0 * snr));
+    case Scheme::kQpsk:
+      // Gray QPSK: per-bit error Q(sqrt(SNR)) at average *symbol* SNR.
+      return q_function(std::sqrt(snr));
+    case Scheme::kAsk4: {
+      // Unipolar 4-ASK, Gray: P_sym ~ 1.5 Q(sqrt(SNR/7)), ~half the symbol
+      // errors flip one of the two bits.
+      return 0.75 * q_function(std::sqrt(snr / 7.0));
+    }
+  }
+  return 0.5;
+}
+
+double scheme_snr_for_ber_db(Scheme scheme, double target_ber) {
+  assert(target_ber > 0.0 && target_ber < 0.5);
+  double lo = -10.0;
+  double hi = 60.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = (lo + hi) / 2.0;
+    if (scheme_ber(scheme, mid) > target_ber) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+double scheme_rate_bps(Scheme scheme, double bandwidth_hz) {
+  assert(bandwidth_hz > 0.0);
+  return bits_per_symbol(scheme) * bandwidth_hz / 2.0;
+}
+
+std::vector<Complex> map_symbols(Scheme scheme, const BitVector& bits) {
+  const std::vector<Complex> points = constellation(scheme);
+  const int bps = bits_per_symbol(scheme);
+  std::vector<Complex> symbols;
+  symbols.reserve((bits.size() + static_cast<std::size_t>(bps) - 1) /
+                  static_cast<std::size_t>(bps));
+  for (std::size_t i = 0; i < bits.size(); i += static_cast<std::size_t>(bps)) {
+    unsigned pattern = 0;
+    for (int b = 0; b < bps; ++b) {
+      const std::size_t index = i + static_cast<std::size_t>(b);
+      const bool bit = index < bits.size() ? bits[index] : false;
+      pattern = (pattern << 1) | (bit ? 1u : 0u);
+    }
+    symbols.push_back(points[pattern]);
+  }
+  return symbols;
+}
+
+BitVector demap_symbols(Scheme scheme, std::span<const Complex> symbols) {
+  const std::vector<Complex> points = constellation(scheme);
+  const int bps = bits_per_symbol(scheme);
+  BitVector bits;
+  bits.reserve(symbols.size() * static_cast<std::size_t>(bps));
+  for (const Complex& symbol : symbols) {
+    unsigned best_pattern = 0;
+    double best_distance = std::numeric_limits<double>::infinity();
+    for (unsigned pattern = 0; pattern < points.size(); ++pattern) {
+      const double distance = std::norm(symbol - points[pattern]);
+      if (distance < best_distance) {
+        best_distance = distance;
+        best_pattern = pattern;
+      }
+    }
+    for (int b = bps - 1; b >= 0; --b) {
+      bits.push_back(((best_pattern >> b) & 1u) != 0);
+    }
+  }
+  return bits;
+}
+
+}  // namespace mmtag::phy

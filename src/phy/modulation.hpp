@@ -1,0 +1,57 @@
+// Higher-order backscatter modulations: the paper's "low spectral
+// efficiency" discussion (Sec. 1), quantified and extended.
+//
+// The paper attributes backscatter's low rate partly to OOK/BPSK's 1 bit
+// per symbol. A Van Atta tag with multi-state switches (several shunt
+// impedances instead of on/off) could signal M-ary ASK; a tag with
+// switched line-length offsets could signal PSK. This module provides the
+// symbol mappers and closed-form BER/SNR math so the ablation benches can
+// ask: what would 4-ASK or QPSK buy mmTag, and at what SNR cost?
+//
+// Conventions match src/phy/ber.hpp: `snr_db` is average symbol SNR.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/phy/ook.hpp"
+
+namespace mmtag::phy {
+
+enum class Scheme {
+  kOok,    ///< On-off keying, 1 bit/symbol (the paper's tag).
+  kAsk4,   ///< 4-level amplitude keying, 2 bits/symbol.
+  kBpsk,   ///< Binary phase keying, 1 bit/symbol.
+  kQpsk,   ///< Quadrature phase keying, 2 bits/symbol.
+};
+
+/// Human-readable scheme name.
+[[nodiscard]] std::string scheme_name(Scheme scheme);
+
+/// Bits carried per symbol.
+[[nodiscard]] int bits_per_symbol(Scheme scheme);
+
+/// Gray-mapped constellation points, unit *average* power.
+[[nodiscard]] std::vector<Complex> constellation(Scheme scheme);
+
+/// Closed-form bit error rate at average symbol SNR `snr_db` (standard
+/// AWGN results, Gray mapping assumed for the multi-bit schemes).
+[[nodiscard]] double scheme_ber(Scheme scheme, double snr_db);
+
+/// Average symbol SNR [dB] required to reach `target_ber` (bisection over
+/// scheme_ber; target in (0, 0.5)).
+[[nodiscard]] double scheme_snr_for_ber_db(Scheme scheme, double target_ber);
+
+/// Bit rate in a bandwidth `bandwidth_hz` at Nyquist symbol rate B/2.
+[[nodiscard]] double scheme_rate_bps(Scheme scheme, double bandwidth_hz);
+
+/// Map a bit stream to constellation symbols (Gray order; the bit count is
+/// padded with zeros up to a whole symbol).
+[[nodiscard]] std::vector<Complex> map_symbols(Scheme scheme,
+                                               const BitVector& bits);
+
+/// Maximum-likelihood (nearest-point) demapping back to bits.
+[[nodiscard]] BitVector demap_symbols(Scheme scheme,
+                                      std::span<const Complex> symbols);
+
+}  // namespace mmtag::phy

@@ -1,0 +1,102 @@
+#include "src/phy/pulse.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/phys/constants.hpp"
+
+namespace mmtag::phy {
+
+std::vector<double> raised_cosine_taps(double beta, int samples_per_symbol,
+                                       int span_symbols) {
+  assert(beta >= 0.0 && beta <= 1.0);
+  assert(samples_per_symbol >= 2);
+  assert(span_symbols >= 1);
+  const int half = span_symbols * samples_per_symbol;
+  std::vector<double> taps(static_cast<std::size_t>(2 * half + 1));
+  for (int i = -half; i <= half; ++i) {
+    const double t = static_cast<double>(i) / samples_per_symbol;  // In T.
+    double value;
+    const double denom_arg = 2.0 * beta * t;
+    if (std::abs(t) < 1e-12) {
+      value = 1.0;
+    } else if (beta > 0.0 && std::abs(std::abs(denom_arg) - 1.0) < 1e-9) {
+      // The removable singularity at t = +-T/(2 beta).
+      value = (phys::kPi / 4.0) *
+              std::sin(phys::kPi * t) / (phys::kPi * t);
+    } else {
+      const double sinc = std::sin(phys::kPi * t) / (phys::kPi * t);
+      const double cosine = std::cos(phys::kPi * beta * t) /
+                            (1.0 - denom_arg * denom_arg);
+      value = sinc * cosine;
+    }
+    taps[static_cast<std::size_t>(i + half)] = value;
+  }
+  return taps;
+}
+
+Waveform apply_fir(std::span<const Complex> samples,
+                   std::span<const double> taps) {
+  assert(!taps.empty());
+  const std::size_t delay = taps.size() / 2;
+  Waveform out(samples.size(), Complex(0.0, 0.0));
+  for (std::size_t n = 0; n < samples.size(); ++n) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t k = 0; k < taps.size(); ++k) {
+      // y[n] = sum_k taps[k] * x[n + delay - k] ("same" alignment).
+      const std::ptrdiff_t index = static_cast<std::ptrdiff_t>(n + delay) -
+                                   static_cast<std::ptrdiff_t>(k);
+      if (index >= 0 &&
+          index < static_cast<std::ptrdiff_t>(samples.size())) {
+        acc += taps[k] * samples[static_cast<std::size_t>(index)];
+      }
+    }
+    out[n] = acc;
+  }
+  return out;
+}
+
+Waveform shape_bits(const BitVector& bits, double beta,
+                    int samples_per_symbol) {
+  Waveform impulses(bits.size() *
+                        static_cast<std::size_t>(samples_per_symbol),
+                    Complex(0.0, 0.0));
+  for (std::size_t b = 0; b < bits.size(); ++b) {
+    impulses[b * static_cast<std::size_t>(samples_per_symbol)] =
+        Complex(bits[b] ? 0.0 : 1.0, 0.0);  // Paper polarity.
+  }
+  const std::vector<double> taps =
+      raised_cosine_taps(beta, samples_per_symbol);
+  return apply_fir(impulses, taps);
+}
+
+double isi_at_symbol_instants(std::span<const double> taps,
+                              int samples_per_symbol) {
+  assert(!taps.empty());
+  const std::size_t center = taps.size() / 2;
+  const double peak = std::abs(taps[center]);
+  assert(peak > 0.0);
+  double isi = 0.0;
+  for (std::size_t i = samples_per_symbol; center >= i;
+       i += static_cast<std::size_t>(samples_per_symbol)) {
+    isi += std::abs(taps[center - i]);
+  }
+  for (std::size_t i = static_cast<std::size_t>(samples_per_symbol);
+       center + i < taps.size();
+       i += static_cast<std::size_t>(samples_per_symbol)) {
+    isi += std::abs(taps[center + i]);
+  }
+  return isi / peak;
+}
+
+double occupied_bandwidth_hz(double beta, double symbol_rate_hz) {
+  assert(symbol_rate_hz > 0.0);
+  return (1.0 + beta) * symbol_rate_hz;
+}
+
+double symbol_rate_for_channel_hz(double beta, double channel_hz) {
+  assert(channel_hz > 0.0);
+  return channel_hz / (1.0 + beta);
+}
+
+}  // namespace mmtag::phy

@@ -1,0 +1,118 @@
+#include "src/phy/sync.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/phy/frame.hpp"
+#include "src/phy/line_code.hpp"
+
+namespace mmtag::phy {
+
+FrameSynchronizer::FrameSynchronizer(SyncConfig config) : config_(config) {
+  assert(config_.samples_per_symbol >= 1);
+  assert(config_.threshold > 0.0 && config_.threshold <= 1.0);
+
+  // Build the on-air amplitude template of the preamble: bits -> optional
+  // Manchester chips -> OOK amplitudes (bit/chip false = reflect = 1.0),
+  // then remove the mean so correlation measures *shape*, not dc.
+  BitVector chips = TagFrame::preamble();
+  if (config_.manchester) chips = manchester_encode(chips);
+  template_.reserve(chips.size() *
+                    static_cast<std::size_t>(config_.samples_per_symbol));
+  for (const bool chip : chips) {
+    const double amplitude = chip ? 0.0 : 1.0;
+    for (int s = 0; s < config_.samples_per_symbol; ++s) {
+      template_.push_back(amplitude);
+    }
+  }
+  double mean = 0.0;
+  for (const double v : template_) mean += v;
+  mean /= static_cast<double>(template_.size());
+  double norm2 = 0.0;
+  for (double& v : template_) {
+    v -= mean;
+    norm2 += v * v;
+  }
+  template_norm_ = std::sqrt(norm2);
+  assert(template_norm_ > 0.0);
+}
+
+double FrameSynchronizer::correlate_at(std::span<const Complex> stream,
+                                       std::size_t offset) const {
+  const std::size_t window = template_.size();
+  if (offset + window > stream.size()) return 0.0;
+
+  // Work on envelope magnitudes, zero-mean within the window, then take a
+  // normalized cross-correlation. Scale/offset invariant by construction.
+  double mean = 0.0;
+  for (std::size_t i = 0; i < window; ++i) {
+    mean += std::abs(stream[offset + i]);
+  }
+  mean /= static_cast<double>(window);
+
+  double dot = 0.0;
+  double energy = 0.0;
+  for (std::size_t i = 0; i < window; ++i) {
+    const double centered = std::abs(stream[offset + i]) - mean;
+    dot += centered * template_[i];
+    energy += centered * centered;
+  }
+  if (energy <= 0.0) return 0.0;
+  const double score = dot / (std::sqrt(energy) * template_norm_);
+  return score > 0.0 ? score : 0.0;
+}
+
+std::optional<SyncHit> FrameSynchronizer::find_frame_start(
+    std::span<const Complex> stream) const {
+  const std::size_t window = template_.size();
+  if (stream.size() < window) return std::nullopt;
+  SyncHit best;
+  for (std::size_t offset = 0; offset + window <= stream.size(); ++offset) {
+    const double score = correlate_at(stream, offset);
+    if (score > best.correlation) {
+      best.correlation = score;
+      best.offset_samples = offset;
+    }
+  }
+  if (best.correlation < config_.threshold) return std::nullopt;
+  return best;
+}
+
+std::vector<SyncHit> FrameSynchronizer::find_all_frames(
+    std::span<const Complex> stream) const {
+  const std::size_t window = template_.size();
+  std::vector<SyncHit> hits;
+  if (stream.size() < window) return hits;
+
+  // Collect every above-threshold offset, then greedily keep the best and
+  // suppress neighbours within one template length (non-max suppression).
+  std::vector<SyncHit> candidates;
+  for (std::size_t offset = 0; offset + window <= stream.size(); ++offset) {
+    const double score = correlate_at(stream, offset);
+    if (score >= config_.threshold) {
+      candidates.push_back(SyncHit{offset, score});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const SyncHit& a, const SyncHit& b) {
+              return a.correlation > b.correlation;
+            });
+  std::vector<bool> suppressed(candidates.size(), false);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (suppressed[i]) continue;
+    hits.push_back(candidates[i]);
+    for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+      const std::size_t a = candidates[i].offset_samples;
+      const std::size_t b = candidates[j].offset_samples;
+      const std::size_t gap = a > b ? a - b : b - a;
+      if (gap < window) suppressed[j] = true;
+    }
+  }
+  std::sort(hits.begin(), hits.end(), [](const SyncHit& a, const SyncHit& b) {
+    return a.offset_samples < b.offset_samples;
+  });
+  return hits;
+}
+
+}  // namespace mmtag::phy

@@ -1,0 +1,62 @@
+// Frame synchronization: finding the frame in a raw sample stream.
+//
+// The receive chain so far assumed sample-aligned frames; a real reader
+// watches a continuous detector output and must locate the preamble
+// itself. The synchronizer slides a matched template of the (Manchester-
+// coded, OOK-mapped) preamble over the stream, normalizes by local energy,
+// and reports candidate frame starts above a correlation threshold.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/phy/ook.hpp"
+
+namespace mmtag::phy {
+
+struct SyncConfig {
+  int samples_per_symbol = 8;
+  bool manchester = true;
+  /// Normalized correlation threshold in [0, 1] for declaring a preamble.
+  double threshold = 0.75;
+};
+
+struct SyncHit {
+  std::size_t offset_samples = 0;  ///< Stream index of the frame start.
+  double correlation = 0.0;        ///< Normalized score in [0, 1].
+};
+
+class FrameSynchronizer {
+ public:
+  explicit FrameSynchronizer(SyncConfig config);
+
+  /// The preamble's expected amplitude template (chips through the OOK
+  /// mapping, one entry per sample).
+  [[nodiscard]] const std::vector<double>& preamble_template() const {
+    return template_;
+  }
+
+  /// Normalized correlation of the template at `offset` in `stream`
+  /// (0 when the window would overrun).
+  [[nodiscard]] double correlate_at(std::span<const Complex> stream,
+                                    std::size_t offset) const;
+
+  /// The best preamble start in `stream`, if any position clears the
+  /// threshold.
+  [[nodiscard]] std::optional<SyncHit> find_frame_start(
+      std::span<const Complex> stream) const;
+
+  /// All non-overlapping preamble starts (greedy, best-first within each
+  /// region) — for streams carrying several frames.
+  [[nodiscard]] std::vector<SyncHit> find_all_frames(
+      std::span<const Complex> stream) const;
+
+  [[nodiscard]] const SyncConfig& config() const { return config_; }
+
+ private:
+  SyncConfig config_;
+  std::vector<double> template_;  ///< Zero-mean preamble template.
+  double template_norm_ = 0.0;
+};
+
+}  // namespace mmtag::phy

@@ -1,0 +1,73 @@
+#include "src/phy/timing.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace mmtag::phy {
+
+namespace {
+
+/// Variance of the integrate-and-dump magnitudes at a given offset.
+double eye_metric_at(std::span<const Complex> samples, int sps, int offset) {
+  const std::size_t usable = samples.size() - static_cast<std::size_t>(offset);
+  const std::size_t symbols = usable / static_cast<std::size_t>(sps);
+  if (symbols < 2) return 0.0;
+
+  std::vector<double> stats;
+  stats.reserve(symbols);
+  double mean = 0.0;
+  for (std::size_t k = 0; k < symbols; ++k) {
+    Complex acc(0.0, 0.0);
+    const std::size_t base =
+        static_cast<std::size_t>(offset) + k * static_cast<std::size_t>(sps);
+    for (int s = 0; s < sps; ++s) {
+      acc += samples[base + static_cast<std::size_t>(s)];
+    }
+    const double magnitude = std::abs(acc) / sps;
+    stats.push_back(magnitude);
+    mean += magnitude;
+  }
+  mean /= static_cast<double>(symbols);
+  double variance = 0.0;
+  for (const double s : stats) variance += (s - mean) * (s - mean);
+  return variance / static_cast<double>(symbols);
+}
+
+}  // namespace
+
+TimingEstimate estimate_symbol_timing(std::span<const Complex> samples,
+                                      int samples_per_symbol) {
+  assert(samples_per_symbol >= 1);
+  TimingEstimate estimate;
+  if (samples.size() < 2 * static_cast<std::size_t>(samples_per_symbol)) {
+    estimate.confidence = 0.0;
+    return estimate;
+  }
+
+  double best = -1.0;
+  double worst = 1e300;
+  for (int offset = 0; offset < samples_per_symbol; ++offset) {
+    const double metric = eye_metric_at(samples, samples_per_symbol, offset);
+    if (metric > best) {
+      best = metric;
+      estimate.offset_samples = offset;
+      estimate.eye_metric = metric;
+    }
+    if (metric < worst) worst = metric;
+  }
+  estimate.confidence = worst > 0.0 ? best / worst : 1.0;
+  return estimate;
+}
+
+BitVector demodulate_with_timing(std::span<const Complex> samples,
+                                 int samples_per_symbol,
+                                 OokDetection detection) {
+  const TimingEstimate timing =
+      estimate_symbol_timing(samples, samples_per_symbol);
+  const OokDemodulator demod(samples_per_symbol, detection);
+  return demod.demodulate(samples.subspan(
+      static_cast<std::size_t>(timing.offset_samples)));
+}
+
+}  // namespace mmtag::phy

@@ -1,0 +1,35 @@
+// Blind symbol-timing recovery for OOK.
+//
+// The frame synchronizer locates the frame to within a sample or two; the
+// demodulator's integrate-and-dump window must additionally be *phased*
+// onto symbol boundaries, or each window straddles two symbols and the eye
+// closes. This estimator tries every intra-symbol offset and picks the one
+// that maximizes the spread (variance) of the decision statistics — the
+// maximum-eye-opening criterion, which needs no training sequence.
+#pragma once
+
+#include "src/phy/ook.hpp"
+
+namespace mmtag::phy {
+
+struct TimingEstimate {
+  int offset_samples = 0;   ///< Best intra-symbol offset in [0, sps).
+  double eye_metric = 0.0;  ///< Statistic variance at the best offset.
+  /// Ratio of best to worst candidate metric (>= 1); near 1 means the
+  /// estimate carries no information (e.g. unmodulated input).
+  double confidence = 1.0;
+};
+
+/// Estimate the symbol-boundary offset of `samples` for a symbol length of
+/// `samples_per_symbol`. At least two full symbols are required; returns a
+/// zero-confidence estimate otherwise.
+[[nodiscard]] TimingEstimate estimate_symbol_timing(
+    std::span<const Complex> samples, int samples_per_symbol);
+
+/// Convenience: demodulate with the estimated timing applied (drops the
+/// leading partial symbol).
+[[nodiscard]] BitVector demodulate_with_timing(
+    std::span<const Complex> samples, int samples_per_symbol,
+    OokDetection detection = OokDetection::kCoherent);
+
+}  // namespace mmtag::phy

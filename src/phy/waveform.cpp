@@ -1,0 +1,39 @@
+#include "src/phy/waveform.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/phys/units.hpp"
+
+namespace mmtag::phy {
+
+double mean_power(std::span<const Complex> samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Complex& x : samples) sum += std::norm(x);
+  return sum / static_cast<double>(samples.size());
+}
+
+void scale(Waveform& samples, double gain) {
+  for (Complex& x : samples) x *= gain;
+}
+
+void apply_channel(Waveform& samples, Complex coefficient) {
+  for (Complex& x : samples) x *= coefficient;
+}
+
+void add_awgn(Waveform& samples, double noise_power, std::mt19937_64& rng) {
+  assert(noise_power >= 0.0);
+  if (noise_power == 0.0) return;
+  std::normal_distribution<double> gauss(0.0, std::sqrt(noise_power / 2.0));
+  for (Complex& x : samples) {
+    x += Complex(gauss(rng), gauss(rng));
+  }
+}
+
+double noise_power_for_snr(double signal_power, double snr_db) {
+  assert(signal_power > 0.0);
+  return signal_power / phys::db_to_ratio(snr_db);
+}
+
+}  // namespace mmtag::phy

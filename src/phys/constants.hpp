@@ -1,0 +1,53 @@
+// Physical constants used throughout the mmTag simulation.
+//
+// All values are CODATA 2018 (exact where the SI redefinition made them so).
+// Everything in this library is strict SI unless a name says otherwise
+// (e.g. *_dbm, *_ghz, *_ft).
+#pragma once
+
+namespace mmtag::phys {
+
+/// Speed of light in vacuum [m/s]. Exact by SI definition.
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Boltzmann constant [J/K]. Exact by SI definition.
+inline constexpr double kBoltzmann = 1.380'649e-23;
+
+/// Reference "room" temperature used by the paper's noise-floor footnote [K].
+inline constexpr double kRoomTemperatureK = 300.0;
+
+/// Standard noise-reference temperature T0 used for noise-figure math [K].
+inline constexpr double kStandardNoiseTemperatureK = 290.0;
+
+/// Characteristic impedance assumed by all S-parameter math [ohm].
+inline constexpr double kReferenceImpedanceOhm = 50.0;
+
+/// Pi, to double precision.
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
+
+/// 2*Pi, the full circle in radians.
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+// ---------------------------------------------------------------------------
+// mmTag system constants (paper Sec. 7 "Implementation").
+// ---------------------------------------------------------------------------
+
+/// Carrier frequency of the prototype: centre of the 24 GHz ISM band [Hz].
+inline constexpr double kMmTagCarrierHz = 24.0e9;
+
+/// Reader peak transmit power: 20 mW (paper Sec. 7) [W].
+inline constexpr double kMmTagReaderTxPowerW = 20.0e-3;
+
+/// Receiver noise figure assumed by the paper's noise floors (footnote 4) [dB].
+inline constexpr double kMmTagReaderNoiseFigureDb = 5.0;
+
+/// Number of antenna elements on the prototype tag (paper Sec. 7).
+inline constexpr int kMmTagPrototypeElements = 6;
+
+/// Beamwidth the paper reports for the 6-element prototype [deg].
+inline constexpr double kMmTagPrototypeBeamwidthDeg = 20.0;
+
+/// SNR required by ASK/OOK for BER 1e-3 (paper Sec. 8, citing [12]) [dB].
+inline constexpr double kAskSnrForBer1e3Db = 7.0;
+
+}  // namespace mmtag::phys

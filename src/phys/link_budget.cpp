@@ -1,0 +1,47 @@
+#include "src/phys/link_budget.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/phys/constants.hpp"
+#include "src/phys/pathloss.hpp"
+#include "src/phys/units.hpp"
+
+namespace mmtag::phys {
+
+BackscatterLinkBudget BackscatterLinkBudget::mmtag_prototype() {
+  BackscatterLinkBudget budget;
+  budget.tx_power_dbm = watts_to_dbm(kMmTagReaderTxPowerW);
+  budget.frequency_hz = kMmTagCarrierHz;
+  return budget;
+}
+
+double BackscatterLinkBudget::fixed_gains_db() const {
+  return reader_tx_gain_dbi + reader_rx_gain_dbi + tag_rx_gain_dbi +
+         tag_tx_gain_dbi - modulation_loss_db - implementation_loss_db;
+}
+
+double BackscatterLinkBudget::received_power_dbm(double distance_m) const {
+  return received_power_bistatic_dbm(distance_m, distance_m);
+}
+
+double BackscatterLinkBudget::received_power_bistatic_dbm(
+    double d_forward_m, double d_reverse_m) const {
+  assert(d_forward_m > 0.0);
+  assert(d_reverse_m > 0.0);
+  return tx_power_dbm + fixed_gains_db() -
+         free_space_path_loss_db(d_forward_m, frequency_hz) -
+         free_space_path_loss_db(d_reverse_m, frequency_hz);
+}
+
+double BackscatterLinkBudget::max_range_m(double required_power_dbm) const {
+  // P_rx(d) = P_tx + G_fixed - 2 * FSPL(d); FSPL(d) = A + 20 log10(d) with
+  // A = 20 log10(4 pi f / c). Solve P_rx(d) = required for d.
+  const double a_db =
+      20.0 * std::log10(4.0 * kPi * frequency_hz / kSpeedOfLight);
+  const double margin_db =
+      tx_power_dbm + fixed_gains_db() - 2.0 * a_db - required_power_dbm;
+  return std::pow(10.0, margin_db / 40.0);
+}
+
+}  // namespace mmtag::phys

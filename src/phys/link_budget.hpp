@@ -1,0 +1,54 @@
+// Two-way backscatter link budget (the "radar equation" form used to model
+// Fig. 7 of the paper).
+//
+// A backscatter link traverses the channel twice:
+//
+//   reader TX --(FSPL fwd)--> tag --(modulation + retro gain)--(FSPL rev)-->
+//   reader RX
+//
+// so the received tag power is
+//
+//   P_rx = P_tx + G_reader_tx + G_tag_rx - FSPL(d_fwd)
+//              + G_tag_tx - L_mod - L_impl - FSPL(d_rev) + G_reader_rx.
+//
+// For the monostatic case (d_fwd == d_rev == d) the slope is 40 dB/decade,
+// which is the dominant shape of Fig. 7. `implementation_loss_db` is the one
+// calibrated constant (see DESIGN.md Sec. 4) covering substrate, switch
+// insertion and polarization losses of the physical prototype.
+#pragma once
+
+namespace mmtag::phys {
+
+/// Parameters of a two-way backscatter link.
+struct BackscatterLinkBudget {
+  double tx_power_dbm = 13.0;          ///< Reader TX power (20 mW -> 13 dBm).
+  double reader_tx_gain_dbi = 20.0;    ///< Reader transmit-horn gain.
+  double reader_rx_gain_dbi = 20.0;    ///< Reader receive-horn gain.
+  double tag_rx_gain_dbi = 12.0;       ///< Tag array gain, incident side.
+  double tag_tx_gain_dbi = 12.0;       ///< Tag array gain, re-radiated side.
+  double modulation_loss_db = 3.0;     ///< OOK: half the time absorbing.
+  double implementation_loss_db = 14.0;///< Calibrated prototype losses.
+  double frequency_hz = 24.0e9;        ///< Carrier.
+
+  /// Budget matching the paper's prototype (Sec. 7 + DESIGN.md Sec. 4).
+  [[nodiscard]] static BackscatterLinkBudget mmtag_prototype();
+
+  /// Received tag power at the reader for a monostatic link of length
+  /// `distance_m` [dBm].
+  [[nodiscard]] double received_power_dbm(double distance_m) const;
+
+  /// Received tag power for a bistatic link: forward path `d_forward_m`,
+  /// reverse path `d_reverse_m` [dBm]. Used for NLOS paths where the
+  /// reflected route differs from the geometric distance.
+  [[nodiscard]] double received_power_bistatic_dbm(double d_forward_m,
+                                                   double d_reverse_m) const;
+
+  /// Largest monostatic range [m] at which the received power still meets
+  /// `required_power_dbm`. Solves the 40 dB/decade budget in closed form.
+  [[nodiscard]] double max_range_m(double required_power_dbm) const;
+
+  /// Sum of all fixed (distance-independent) gains minus losses [dB].
+  [[nodiscard]] double fixed_gains_db() const;
+};
+
+}  // namespace mmtag::phys

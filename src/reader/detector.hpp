@@ -1,0 +1,52 @@
+// Power detector: the "spectrum analyzer" half of the prototype reader.
+//
+// A spectrum analyzer reports the power in its resolution bandwidth, which
+// is the tag signal plus the thermal floor, with an estimation jitter that
+// shrinks with averaging. The detector also implements the tag-present
+// decision the beam scanner uses: a tag is detected when the *modulated*
+// power (difference between reflect and absorb states) clears the floor by
+// a margin.
+#pragma once
+
+#include <random>
+
+#include "src/phys/noise.hpp"
+
+namespace mmtag::reader {
+
+class PowerDetector {
+ public:
+  struct Params {
+    double bandwidth_hz = 20.0e6;     ///< Resolution bandwidth.
+    int averages = 16;                ///< Trace averaging count.
+    double detection_margin_db = 3.0; ///< Tag-present threshold over floor.
+  };
+
+  PowerDetector(phys::NoiseModel noise, Params params);
+
+  /// The prototype detector: mmTag reader noise model, 20 MHz RBW.
+  [[nodiscard]] static PowerDetector mmtag_default();
+
+  /// Noise floor of the current bandwidth [dBm].
+  [[nodiscard]] double noise_floor_dbm() const;
+
+  /// One power measurement of a true signal `true_power_dbm`: adds the
+  /// thermal floor and chi-squared estimation jitter (scaled by 1/sqrt(K)
+  /// for K averages) [dBm].
+  [[nodiscard]] double measure_dbm(double true_power_dbm,
+                                   std::mt19937_64& rng) const;
+
+  /// Tag-present decision from measured reflect/absorb powers: true when
+  /// the modulation excursion exceeds the floor by the detection margin.
+  [[nodiscard]] bool detects_modulation(double reflect_dbm,
+                                        double absorb_dbm) const;
+
+  [[nodiscard]] const Params& params() const { return params_; }
+  [[nodiscard]] const phys::NoiseModel& noise() const { return noise_; }
+
+ private:
+  phys::NoiseModel noise_;
+  Params params_;
+};
+
+}  // namespace mmtag::reader

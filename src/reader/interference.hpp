@@ -1,0 +1,39 @@
+// Reader-to-reader interference: deploying many readers in one space.
+//
+// A warehouse or office deploys several readers (the AR example already
+// uses two). Each reader's query carrier lands in the others' receive
+// bands; mmWave directionality (narrow horns) is the main defence — the
+// same property paper Sec. 9 proposes against self-interference. This
+// model computes cross-reader interference over the ray-traced channel and
+// the SINR-limited rate each reader keeps for its own tag.
+#pragma once
+
+#include <vector>
+
+#include "src/channel/environment.hpp"
+#include "src/phy/rate_table.hpp"
+#include "src/reader/reader.hpp"
+
+namespace mmtag::reader {
+
+/// One-way interference power received by `victim` from `aggressor`'s
+/// transmit carrier over the strongest path in `env` [dBm]. Both readers'
+/// current steerings apply (TX gain at the aggressor's departure, RX gain
+/// at the victim's arrival... the path is evaluated from the aggressor).
+[[nodiscard]] double cross_reader_interference_dbm(
+    const MmWaveReader& aggressor, const MmWaveReader& victim,
+    const channel::Environment& env);
+
+/// Aggregate interference at `victim` from every other reader [dBm].
+/// Powers add linearly.
+[[nodiscard]] double total_interference_dbm(
+    const std::vector<MmWaveReader>& readers, std::size_t victim_index,
+    const channel::Environment& env);
+
+/// Rate the victim still achieves for a tag signal of `tag_power_dbm`
+/// when thermal noise and the aggregate interference both load each tier.
+[[nodiscard]] double sinr_limited_rate_bps(
+    double tag_power_dbm, double interference_dbm,
+    const phy::RateTable& rates);
+
+}  // namespace mmtag::reader

@@ -1,0 +1,47 @@
+#include "src/reader/localization.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/phys/units.hpp"
+
+namespace mmtag::reader {
+
+TagLocator::TagLocator(phys::BackscatterLinkBudget budget,
+                       double power_sigma_db)
+    : budget_(budget), power_sigma_db_(power_sigma_db) {
+  assert(power_sigma_db_ >= 0.0);
+}
+
+TagLocator TagLocator::mmtag_default() {
+  return TagLocator(phys::BackscatterLinkBudget::mmtag_prototype());
+}
+
+double TagLocator::range_from_power_m(double power_dbm) const {
+  // max_range_m solves P_rx(d) == power for d on the 40 dB/decade budget.
+  return budget_.max_range_m(power_dbm);
+}
+
+std::optional<PositionEstimate> TagLocator::locate(
+    const ScanResult& scan, const core::Pose& reader_pose) const {
+  if (!scan.found_tag()) return std::nullopt;
+  const BeamProbe& winner =
+      scan.probes[static_cast<std::size_t>(scan.best_beam_index)];
+
+  PositionEstimate estimate;
+  estimate.bearing_rad = winner.beam.boresight_rad;
+  estimate.bearing_sigma_rad = phys::deg_to_rad(winner.beam.width_deg) / 2.0;
+  estimate.range_m = range_from_power_m(winner.reflect_power_dbm);
+  // +/- sigma of power maps to a multiplicative range band through the
+  // 40 dB/decade slope: d * 10^(+/- sigma/40).
+  const double band = std::pow(10.0, power_sigma_db_ / 40.0);
+  estimate.range_sigma_m = estimate.range_m * (band - 1.0);
+
+  estimate.position = reader_pose.position +
+                      channel::Vec2{std::cos(estimate.bearing_rad),
+                                    std::sin(estimate.bearing_rad)} *
+                          estimate.range_m;
+  return estimate;
+}
+
+}  // namespace mmtag::reader

@@ -1,0 +1,66 @@
+#include "src/reader/receive_chain.hpp"
+
+#include <cassert>
+
+namespace mmtag::reader {
+
+ReceiveChain::ReceiveChain(Params params) : params_(params) {
+  assert(params_.samples_per_symbol >= 1);
+}
+
+ReceiveResult ReceiveChain::receive(
+    std::span<const phy::Complex> samples) const {
+  ReceiveResult result;
+  const phy::OokDemodulator demod(params_.samples_per_symbol);
+  phy::BitVector bits = demod.demodulate(samples);
+  result.demodulated_bits = bits.size();
+
+  if (params_.manchester) {
+    bits = phy::manchester_decode_lenient(bits, result.invalid_line_pairs);
+  }
+
+  // Check the preamble explicitly so the caller can distinguish "never
+  // found the frame" from "found it but corrupted".
+  const phy::BitVector preamble = phy::TagFrame::preamble();
+  result.preamble_ok = bits.size() >= preamble.size();
+  if (result.preamble_ok) {
+    for (std::size_t i = 0; i < preamble.size(); ++i) {
+      if (bits[i] != preamble[i]) {
+        result.preamble_ok = false;
+        break;
+      }
+    }
+  }
+
+  result.frame = phy::TagFrame::parse(bits);
+  result.crc_ok = result.frame.has_value();
+  return result;
+}
+
+std::vector<ReceiveResult> ReceiveChain::receive_stream(
+    std::span<const phy::Complex> stream) const {
+  phy::SyncConfig sync_config;
+  sync_config.samples_per_symbol = params_.samples_per_symbol;
+  sync_config.manchester = params_.manchester;
+  const phy::FrameSynchronizer sync(sync_config);
+
+  std::vector<ReceiveResult> results;
+  for (const phy::SyncHit& hit : sync.find_all_frames(stream)) {
+    // Decode from the preamble start to the end of the stream; the frame
+    // parser stops at its own length field, so trailing samples (the next
+    // frame, noise) are harmless.
+    results.push_back(receive(stream.subspan(hit.offset_samples)));
+  }
+  return results;
+}
+
+phy::Waveform ReceiveChain::encode(const phy::TagFrame& frame,
+                                   double modulation_depth_db) const {
+  phy::BitVector bits = frame.serialize();
+  if (params_.manchester) bits = phy::manchester_encode(bits);
+  const phy::OokModulator mod(params_.samples_per_symbol,
+                              modulation_depth_db);
+  return mod.modulate(bits);
+}
+
+}  // namespace mmtag::reader

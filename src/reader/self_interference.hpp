@@ -1,0 +1,56 @@
+// Reader self-interference (paper Sec. 9, "Self Interference").
+//
+// A backscatter reader transmits while it receives; its own carrier leaks
+// into the receive chain and can bury the tag's reflection. The leakage
+// path has three knobs:
+//
+//   * antenna isolation — separate TX/RX horns plus mmWave directionality
+//     (the paper's suggested research direction);
+//   * analog cancellation — an adjustable tap that subtracts a replica;
+//   * the residual after both, which adds to the thermal floor.
+//
+// The model computes the resulting SINR and the rate the paper's rate table
+// would still support — quantifying exactly when full-duplex tricks become
+// necessary.
+#pragma once
+
+#include "src/phy/rate_table.hpp"
+
+namespace mmtag::reader {
+
+class SelfInterferenceModel {
+ public:
+  struct Params {
+    double antenna_isolation_db = 40.0;     ///< TX horn -> RX horn coupling.
+    double analog_cancellation_db = 0.0;    ///< Extra cancellation stage.
+    /// Phase-noise-limited floor: cancellation cannot push the residual
+    /// below carrier - this many dB (typical mmWave synthesizer limit).
+    double cancellation_limit_db = 90.0;
+  };
+
+  explicit SelfInterferenceModel(Params params);
+
+  /// Residual self-interference power at the demodulator input for a reader
+  /// transmitting `tx_power_dbm` [dBm].
+  [[nodiscard]] double residual_dbm(double tx_power_dbm) const;
+
+  /// Signal-to-(interference+noise) ratio for a tag signal of
+  /// `tag_power_dbm` in bandwidth `bandwidth_hz` [dB].
+  [[nodiscard]] double sinr_db(double tag_power_dbm, double tx_power_dbm,
+                               double bandwidth_hz,
+                               const phys::NoiseModel& noise) const;
+
+  /// Best achievable rate under self-interference: like
+  /// RateTable::achievable_rate_bps but with the residual SI folded into
+  /// the per-tier floor.
+  [[nodiscard]] double achievable_rate_bps(double tag_power_dbm,
+                                           double tx_power_dbm,
+                                           const phy::RateTable& rates) const;
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace mmtag::reader

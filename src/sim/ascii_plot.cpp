@@ -1,0 +1,98 @@
+#include "src/sim/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace mmtag::sim {
+
+std::string ascii_plot(std::span<const double> x,
+                       const std::vector<Series>& series,
+                       const PlotOptions& options) {
+  assert(!x.empty());
+  assert(!series.empty());
+  for (const Series& s : series) {
+    assert(s.y.size() == x.size() && "series length must match x");
+  }
+  assert(options.width >= 8 && options.height >= 4);
+
+  double y_min = std::numeric_limits<double>::infinity();
+  double y_max = -std::numeric_limits<double>::infinity();
+  for (const Series& s : series) {
+    for (const double v : s.y) {
+      y_min = std::min(y_min, v);
+      y_max = std::max(y_max, v);
+    }
+  }
+  if (y_max == y_min) y_max = y_min + 1.0;  // Flat series: avoid /0.
+  const double x_min = x.front();
+  const double x_max = x.back() == x.front() ? x.front() + 1.0 : x.back();
+
+  // Canvas of spaces; row 0 is the top.
+  std::vector<std::string> canvas(
+      static_cast<std::size_t>(options.height),
+      std::string(static_cast<std::size_t>(options.width), ' '));
+
+  const auto to_col = [&](double xv) {
+    const double t = (xv - x_min) / (x_max - x_min);
+    return std::clamp(static_cast<int>(std::lround(t * (options.width - 1))),
+                      0, options.width - 1);
+  };
+  const auto to_row = [&](double yv) {
+    const double t = (yv - y_min) / (y_max - y_min);
+    return std::clamp(
+        options.height - 1 -
+            static_cast<int>(std::lround(t * (options.height - 1))),
+        0, options.height - 1);
+  };
+
+  for (const Series& s : series) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      canvas[static_cast<std::size_t>(to_row(s.y[i]))]
+            [static_cast<std::size_t>(to_col(x[i]))] = s.glyph;
+    }
+  }
+
+  std::ostringstream out;
+  char buffer[64];
+  for (int row = 0; row < options.height; ++row) {
+    // Label the top, middle and bottom rows with y values.
+    if (row == 0 || row == options.height - 1 ||
+        row == options.height / 2) {
+      const double value =
+          y_max - (y_max - y_min) * row / (options.height - 1);
+      std::snprintf(buffer, sizeof(buffer), "%9.1f |", value);
+    } else {
+      std::snprintf(buffer, sizeof(buffer), "%9s |", "");
+    }
+    out << buffer << canvas[static_cast<std::size_t>(row)] << '\n';
+  }
+  out << "          +" << std::string(static_cast<std::size_t>(options.width),
+                                      '-')
+      << '\n';
+  std::snprintf(buffer, sizeof(buffer), "%9s  %-8.2f", "", x_min);
+  out << buffer;
+  const std::string x_axis_mid = options.x_label;
+  const int pad = options.width - 20 - static_cast<int>(x_axis_mid.size());
+  out << std::string(static_cast<std::size_t>(std::max(1, pad / 2)), ' ')
+      << x_axis_mid;
+  std::snprintf(buffer, sizeof(buffer), "%*.2f\n",
+                std::max(1, pad - pad / 2 + 8), x_max);
+  out << buffer;
+
+  // Legend.
+  out << "          ";
+  for (const Series& s : series) {
+    out << s.glyph << "=" << s.label << "  ";
+  }
+  if (!options.y_label.empty()) {
+    out << "(y: " << options.y_label << ")";
+  }
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace mmtag::sim

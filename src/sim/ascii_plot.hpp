@@ -1,0 +1,36 @@
+// Terminal line plots for bench output.
+//
+// The paper's artifacts are *figures*; rendering the reproduced series as
+// ASCII plots next to the numeric tables makes the shape comparison
+// (slopes, crossings) immediate without leaving the terminal.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mmtag::sim {
+
+/// One plotted series: y-values over the shared x-axis, drawn with `glyph`.
+struct Series {
+  std::string label;
+  std::vector<double> y;
+  char glyph = '*';
+};
+
+struct PlotOptions {
+  int width = 72;    ///< Plot area columns.
+  int height = 20;   ///< Plot area rows.
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Render `series` against shared `x` values (all series must match x's
+/// length). Y-axis spans the min/max over every series; x is mapped
+/// linearly. Returns a multi-line string including axis annotations and a
+/// legend.
+[[nodiscard]] std::string ascii_plot(std::span<const double> x,
+                                     const std::vector<Series>& series,
+                                     const PlotOptions& options = {});
+
+}  // namespace mmtag::sim

@@ -1,0 +1,75 @@
+#include "src/sim/link_sim.hpp"
+
+#include <cassert>
+
+#include "src/phy/frame.hpp"
+#include "src/phy/waveform.hpp"
+
+namespace mmtag::sim {
+
+MonteCarloLink::MonteCarloLink(Params params) : params_(params) {
+  assert(params_.samples_per_symbol >= 1);
+  assert(params_.block_bits >= 2);
+}
+
+BerMeasurement MonteCarloLink::measure_ber(double snr_db,
+                                           std::mt19937_64& rng) const {
+  const phy::OokModulator mod(params_.samples_per_symbol,
+                              params_.modulation_depth_db);
+  const phy::OokDemodulator demod(params_.samples_per_symbol);
+  std::bernoulli_distribution coin(0.5);
+
+  BerMeasurement measurement;
+  while (measurement.bits_sent < params_.min_bits) {
+    phy::BitVector bits(params_.block_bits);
+    for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = coin(rng);
+
+    phy::Waveform wave = mod.modulate(bits);
+    // snr_db is the per-SYMBOL average SNR (the convention of ber.hpp's
+    // closed forms). The integrate-and-dump filter averages
+    // samples_per_symbol noise samples, so the per-sample noise must be
+    // that factor larger to land at the requested symbol SNR.
+    const double signal_power = phy::mean_power(wave);
+    assert(signal_power > 0.0);
+    const double per_sample_noise =
+        phy::noise_power_for_snr(signal_power, snr_db) *
+        params_.samples_per_symbol;
+    phy::add_awgn(wave, per_sample_noise, rng);
+
+    const phy::BitVector decoded = demod.demodulate(wave);
+    measurement.bit_errors += phy::hamming_distance(bits, decoded);
+    measurement.bits_sent += bits.size();
+  }
+  return measurement;
+}
+
+double MonteCarloLink::measure_fer(double snr_db, int frames,
+                                   std::size_t payload_bits,
+                                   std::mt19937_64& rng) const {
+  assert(frames >= 1);
+  const reader::ReceiveChain chain(
+      reader::ReceiveChain::Params{params_.samples_per_symbol, true});
+  std::bernoulli_distribution coin(0.5);
+
+  int failures = 0;
+  for (int f = 0; f < frames; ++f) {
+    phy::TagFrame frame;
+    frame.tag_id = static_cast<std::uint32_t>(f + 1);
+    frame.payload.resize(payload_bits);
+    for (std::size_t i = 0; i < payload_bits; ++i) frame.payload[i] = coin(rng);
+
+    phy::Waveform wave = chain.encode(frame, params_.modulation_depth_db);
+    const double signal_power = phy::mean_power(wave);
+    // Same per-symbol SNR convention as measure_ber.
+    phy::add_awgn(wave,
+                  phy::noise_power_for_snr(signal_power, snr_db) *
+                      params_.samples_per_symbol,
+                  rng);
+
+    const reader::ReceiveResult result = chain.receive(wave);
+    if (!result.frame.has_value() || !(*result.frame == frame)) ++failures;
+  }
+  return static_cast<double>(failures) / static_cast<double>(frames);
+}
+
+}  // namespace mmtag::sim

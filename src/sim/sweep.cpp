@@ -1,0 +1,30 @@
+#include "src/sim/sweep.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mmtag::sim {
+
+std::vector<double> linspace(double first, double last, int count) {
+  assert(count >= 1);
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(count));
+  if (count == 1) {
+    values.push_back(first);
+    return values;
+  }
+  for (int i = 0; i < count; ++i) {
+    values.push_back(first + (last - first) * i / (count - 1));
+  }
+  return values;
+}
+
+std::vector<double> logspace(double first, double last, int count) {
+  assert(first > 0.0 && last > 0.0);
+  std::vector<double> values = linspace(std::log10(first), std::log10(last),
+                                        count);
+  for (double& v : values) v = std::pow(10.0, v);
+  return values;
+}
+
+}  // namespace mmtag::sim

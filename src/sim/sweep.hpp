@@ -1,0 +1,17 @@
+// Parameter-sweep helpers.
+#pragma once
+
+#include <vector>
+
+namespace mmtag::sim {
+
+/// `count` evenly spaced values from `first` to `last` inclusive.
+[[nodiscard]] std::vector<double> linspace(double first, double last,
+                                           int count);
+
+/// `count` logarithmically spaced values from `first` to `last` inclusive
+/// (both must be positive).
+[[nodiscard]] std::vector<double> logspace(double first, double last,
+                                           int count);
+
+}  // namespace mmtag::sim

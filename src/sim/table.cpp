@@ -1,0 +1,98 @@
+#include "src/sim/table.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace mmtag::sim {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  assert(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string Table::fmt_rate(double bps) {
+  if (bps <= 0.0) return "-";
+  if (bps >= 1e9) return fmt(bps / 1e9, 2) + " Gbps";
+  if (bps >= 1e6) return fmt(bps / 1e6, 2) + " Mbps";
+  if (bps >= 1e3) return fmt(bps / 1e3, 2) + " kbps";
+  return fmt(bps, 0) + " bps";
+}
+
+std::string Table::fmt_si(double value, int precision) {
+  const struct {
+    double scale;
+    const char* suffix;
+  } kUnits[] = {{1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+                {1.0, ""},   {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"},
+                {1e-12, "p"}, {1e-15, "f"}};
+  const double magnitude = std::abs(value);
+  if (magnitude == 0.0) return fmt(0.0, precision);
+  for (const auto& unit : kUnits) {
+    if (magnitude >= unit.scale) {
+      return fmt(value / unit.scale, precision) + unit.suffix;
+    }
+  }
+  return fmt(value / 1e-15, precision) + "f";
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << "  " << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad) {
+        out << ' ';
+      }
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  out << "  " << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ',';
+      out << cells[c];
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void Table::print(const std::string& title) const {
+  std::printf("\n=== %s ===\n%s", title.c_str(), to_string().c_str());
+}
+
+}  // namespace mmtag::sim

@@ -1,0 +1,42 @@
+// Result tables: aligned console output + CSV, shared by every bench.
+//
+// Benches print the same rows/series the paper's figures plot, so the
+// EXPERIMENTS.md paper-vs-measured comparison can be filled straight from
+// bench output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mmtag::sim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add a row of preformatted cells; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Format helpers.
+  [[nodiscard]] static std::string fmt(double value, int precision = 2);
+  [[nodiscard]] static std::string fmt_rate(double bps);
+  [[nodiscard]] static std::string fmt_si(double value, int precision = 2);
+
+  /// Render with aligned columns.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as CSV.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Print to stdout with a title banner.
+  void print(const std::string& title) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mmtag::sim

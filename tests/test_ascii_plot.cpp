@@ -1,0 +1,85 @@
+// ASCII plotter tests (src/sim/ascii_plot).
+#include "src/sim/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/sweep.hpp"
+
+namespace mmtag::sim {
+namespace {
+
+TEST(AsciiPlot, ContainsGlyphsAndLegend) {
+  const std::vector<double> x = linspace(0.0, 10.0, 11);
+  Series series;
+  series.label = "signal";
+  series.glyph = '*';
+  series.y = x;  // Diagonal line.
+  const std::string plot = ascii_plot(x, {series});
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find("*=signal"), std::string::npos);
+}
+
+TEST(AsciiPlot, AxisLabelsShowRange) {
+  const std::vector<double> x = linspace(2.0, 12.0, 21);
+  Series series;
+  series.label = "p";
+  series.y = std::vector<double>(21, -50.0);
+  series.y.back() = -80.0;
+  const std::string plot = ascii_plot(x, {series});
+  EXPECT_NE(plot.find("-50.0"), std::string::npos);
+  EXPECT_NE(plot.find("-80.0"), std::string::npos);
+  EXPECT_NE(plot.find("2.00"), std::string::npos);
+  EXPECT_NE(plot.find("12.00"), std::string::npos);
+}
+
+TEST(AsciiPlot, MonotoneSeriesDescendsVisually) {
+  // The first sample of a decreasing series must be drawn above the last.
+  const std::vector<double> x = linspace(0.0, 1.0, 30);
+  Series series;
+  series.label = "drop";
+  series.glyph = '#';
+  series.y.resize(30);
+  for (int i = 0; i < 30; ++i) series.y[static_cast<std::size_t>(i)] = -i;
+  const std::string plot = ascii_plot(x, {series});
+  const std::size_t first = plot.find('#');
+  const std::size_t last = plot.rfind('#');
+  // Earlier in the string = higher row. The first (highest-value) point
+  // must appear before the last (lowest-value) point.
+  EXPECT_LT(first, last);
+}
+
+TEST(AsciiPlot, MultipleSeriesKeepDistinctGlyphs) {
+  const std::vector<double> x = linspace(0.0, 1.0, 10);
+  Series a{"up", std::vector<double>(10, 1.0), 'a'};
+  Series b{"down", std::vector<double>(10, 0.0), 'b'};
+  const std::string plot = ascii_plot(x, {a, b});
+  EXPECT_NE(plot.find('a'), std::string::npos);
+  EXPECT_NE(plot.find('b'), std::string::npos);
+  EXPECT_NE(plot.find("a=up"), std::string::npos);
+  EXPECT_NE(plot.find("b=down"), std::string::npos);
+}
+
+TEST(AsciiPlot, FlatSeriesDoesNotDivideByZero) {
+  const std::vector<double> x = linspace(0.0, 1.0, 5);
+  Series flat{"flat", std::vector<double>(5, 3.0), '-'};
+  const std::string plot = ascii_plot(x, {flat});
+  EXPECT_FALSE(plot.empty());
+}
+
+TEST(AsciiPlot, RespectsRequestedSize) {
+  const std::vector<double> x = linspace(0.0, 1.0, 5);
+  Series s{"s", std::vector<double>(5, 1.0), '*'};
+  PlotOptions options;
+  options.width = 30;
+  options.height = 8;
+  const std::string plot = ascii_plot(x, {s}, options);
+  // 8 canvas rows + axis row + x-label row + legend row.
+  int lines = 0;
+  for (const char c : plot) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 11);
+}
+
+}  // namespace
+}  // namespace mmtag::sim

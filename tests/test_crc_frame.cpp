@@ -1,0 +1,125 @@
+// CRC-16 and air-frame tests (src/phy/crc, src/phy/frame).
+#include <gtest/gtest.h>
+
+#include "src/phy/crc.hpp"
+#include "src/phy/frame.hpp"
+#include "src/sim/rng.hpp"
+
+namespace mmtag::phy {
+namespace {
+
+BitVector bits_of_bytes(std::initializer_list<std::uint8_t> bytes) {
+  BitVector bits;
+  for (const std::uint8_t byte : bytes) {
+    for (int i = 7; i >= 0; --i) bits.push_back(((byte >> i) & 1) != 0);
+  }
+  return bits;
+}
+
+TEST(Crc16, KnownVector) {
+  // CRC-16/CCITT-FALSE("123456789") = 0x29B1, the standard check value.
+  const BitVector ascii = bits_of_bytes(
+      {'1', '2', '3', '4', '5', '6', '7', '8', '9'});
+  EXPECT_EQ(crc16_ccitt(ascii), 0x29B1);
+}
+
+TEST(Crc16, EmptyInputIsInit) {
+  EXPECT_EQ(crc16_ccitt({}), 0xFFFF);
+}
+
+TEST(Crc16, AppendThenCheckPasses) {
+  BitVector bits = bits_of_bytes({0xDE, 0xAD, 0xBE, 0xEF});
+  append_crc16(bits);
+  EXPECT_TRUE(check_crc16(bits));
+}
+
+TEST(Crc16, TooShortFails) {
+  EXPECT_FALSE(check_crc16(BitVector(15, true)));
+}
+
+// Property: CRC-16 detects every single-bit flip, anywhere in the frame.
+class CrcSingleFlipTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CrcSingleFlipTest, DetectsFlip) {
+  BitVector bits = bits_of_bytes({0x12, 0x34, 0x56, 0x78, 0x9A});
+  append_crc16(bits);
+  const std::size_t position = GetParam() % bits.size();
+  bits[position] = !bits[position];
+  EXPECT_FALSE(check_crc16(bits));
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, CrcSingleFlipTest,
+                         ::testing::Values(0u, 1u, 7u, 16u, 23u, 39u, 40u,
+                                           47u, 55u));
+
+TEST(BitHelpers, AppendReadRoundTrip) {
+  BitVector bits;
+  append_uint(bits, 0xCAFEBABE, 32);
+  append_uint(bits, 0x2A, 7);
+  std::size_t offset = 0;
+  EXPECT_EQ(read_uint(bits, offset, 32), 0xCAFEBABEu);
+  EXPECT_EQ(read_uint(bits, offset, 7), 0x2Au);
+  EXPECT_EQ(offset, 39u);
+}
+
+TEST(Frame, SerializeParseRoundTrip) {
+  auto rng = sim::make_rng(7);
+  std::bernoulli_distribution coin(0.5);
+  TagFrame frame;
+  frame.tag_id = 0xDEADBEEF;
+  frame.payload.resize(96);
+  for (std::size_t i = 0; i < frame.payload.size(); ++i) {
+    frame.payload[i] = coin(rng);
+  }
+  const BitVector bits = frame.serialize();
+  EXPECT_EQ(bits.size(), TagFrame::frame_bits(96));
+  const auto parsed = TagFrame::parse(bits);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(*parsed == frame);
+}
+
+TEST(Frame, EmptyPayloadAllowed) {
+  TagFrame frame;
+  frame.tag_id = 1;
+  const auto parsed = TagFrame::parse(frame.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+TEST(Frame, CorruptPayloadRejected) {
+  TagFrame frame;
+  frame.tag_id = 99;
+  frame.payload = BitVector(32, true);
+  BitVector bits = frame.serialize();
+  bits[40] = !bits[40];  // Inside the id/payload region.
+  EXPECT_FALSE(TagFrame::parse(bits).has_value());
+}
+
+TEST(Frame, BadPreambleRejected) {
+  TagFrame frame;
+  frame.tag_id = 5;
+  BitVector bits = frame.serialize();
+  bits[0] = !bits[0];
+  EXPECT_FALSE(TagFrame::parse(bits).has_value());
+}
+
+TEST(Frame, TruncatedRejected) {
+  TagFrame frame;
+  frame.tag_id = 5;
+  frame.payload = BitVector(64, false);
+  BitVector bits = frame.serialize();
+  bits.resize(bits.size() - 10);
+  EXPECT_FALSE(TagFrame::parse(bits).has_value());
+  EXPECT_FALSE(TagFrame::parse(BitVector{}).has_value());
+}
+
+TEST(Frame, PreambleAlternates) {
+  const BitVector preamble = TagFrame::preamble();
+  ASSERT_EQ(preamble.size(), 16u);
+  for (std::size_t i = 1; i < preamble.size(); ++i) {
+    EXPECT_NE(preamble[i], preamble[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace mmtag::phy

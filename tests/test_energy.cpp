@@ -1,0 +1,97 @@
+// Tag energy-model tests (src/core/energy) — the batteryless claim (C4).
+#include "src/core/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/active_radio.hpp"
+#include "src/phys/constants.hpp"
+
+namespace mmtag::core {
+namespace {
+
+TEST(Energy, PerBitIsPicojoules) {
+  const TagEnergyModel model = TagEnergyModel::mmtag_prototype();
+  const double e = model.energy_per_bit_j();
+  EXPECT_GT(e, 1e-13);
+  EXPECT_LT(e, 1e-10);
+}
+
+TEST(Energy, TransitionProbabilityScalesLinearly) {
+  const TagEnergyModel model = TagEnergyModel::mmtag_prototype();
+  EXPECT_NEAR(model.energy_per_bit_j(1.0), 2.0 * model.energy_per_bit_j(0.5),
+              1e-24);
+  EXPECT_DOUBLE_EQ(model.energy_per_bit_j(0.0), 0.0);
+}
+
+TEST(Energy, ModulationPowerAtGigabit) {
+  // Even at 1 Gbps the whole tag modulates on single-digit milliwatts.
+  const TagEnergyModel model = TagEnergyModel::mmtag_prototype();
+  const double p = model.modulation_power_w(1e9);
+  EXPECT_LT(p, 20e-3);
+  EXPECT_GT(p, 1e-4);
+}
+
+TEST(Energy, MaxBitRateInvertsPower) {
+  const TagEnergyModel model = TagEnergyModel::mmtag_prototype();
+  const double budget_w = 1e-3;
+  const double rate = model.max_bit_rate_bps(budget_w);
+  EXPECT_NEAR(model.modulation_power_w(rate), budget_w, 1e-12);
+}
+
+TEST(Energy, HarvestDensitiesOrdered) {
+  // Outdoor light >> thermal > indoor light > vibration > ambient RF.
+  EXPECT_GT(harvest_density_w_per_m2(HarvestSource::kOutdoorLight),
+            harvest_density_w_per_m2(HarvestSource::kThermal));
+  EXPECT_GT(harvest_density_w_per_m2(HarvestSource::kThermal),
+            harvest_density_w_per_m2(HarvestSource::kIndoorLight));
+  EXPECT_GT(harvest_density_w_per_m2(HarvestSource::kIndoorLight),
+            harvest_density_w_per_m2(HarvestSource::kVibration));
+  EXPECT_GT(harvest_density_w_per_m2(HarvestSource::kVibration),
+            harvest_density_w_per_m2(HarvestSource::kRfAmbient));
+}
+
+TEST(Energy, OutdoorLightSustainsGigabit) {
+  const TagEnergyModel model = TagEnergyModel::mmtag_prototype();
+  const double harvested =
+      TagEnergyModel::harvested_power_w(HarvestSource::kOutdoorLight);
+  EXPECT_GT(model.max_bit_rate_bps(harvested), 1e9);
+}
+
+TEST(Energy, IndoorLightSustainsTensOfMbps) {
+  // Honest model consequence: indoor light alone supports tens of Mbps of
+  // *continuous* modulation; Gbps operation indoors is bursty/duty-cycled.
+  const TagEnergyModel model = TagEnergyModel::mmtag_prototype();
+  const double harvested =
+      TagEnergyModel::harvested_power_w(HarvestSource::kIndoorLight);
+  const double rate = model.max_bit_rate_bps(harvested);
+  EXPECT_GT(rate, 1e6);
+  EXPECT_LT(rate, 1e9);
+}
+
+TEST(Energy, OrdersOfMagnitudeBelowActiveRadios) {
+  // Paper Sec. 1: backscatter cuts power "by orders of magnitude". Require
+  // >= 100x per bit against the *most* efficient active baseline.
+  const TagEnergyModel tag = TagEnergyModel::mmtag_prototype();
+  for (const auto& radio : baselines::all_active_radios()) {
+    EXPECT_GT(radio.energy_per_bit_j(), 100.0 * tag.energy_per_bit_j())
+        << radio.name;
+  }
+}
+
+// Property: energy per bit scales with the number of switches (element
+// count), so bigger apertures cost proportionally more to modulate.
+class EnergySwitchCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnergySwitchCountTest, LinearInSwitchCount) {
+  const int n = GetParam();
+  const TagEnergyModel one(em::RfSwitch::ce3520k3(), 1);
+  const TagEnergyModel many(em::RfSwitch::ce3520k3(), n);
+  EXPECT_NEAR(many.energy_per_bit_j() / one.energy_per_bit_j(),
+              static_cast<double>(n), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, EnergySwitchCountTest,
+                         ::testing::Values(1, 2, 6, 12, 32, 64));
+
+}  // namespace
+}  // namespace mmtag::core

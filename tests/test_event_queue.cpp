@@ -1,0 +1,76 @@
+// Discrete-event queue tests (src/mac/event_queue).
+#include "src/mac/event_queue.hpp"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mmtag::mac {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(3.0, [&] { order.push_back(3); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(queue.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo) {
+  EventQueue queue;
+  std::string log;
+  queue.schedule(1.0, [&] { log += 'a'; });
+  queue.schedule(1.0, [&] { log += 'b'; });
+  queue.schedule(1.0, [&] { log += 'c'; });
+  queue.run();
+  EXPECT_EQ(log, "abc");
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue queue;
+  double fired_at = -1.0;
+  queue.schedule(2.0, [&] {
+    queue.schedule_in(1.5, [&] { fired_at = queue.now(); });
+  });
+  queue.run();
+  EXPECT_DOUBLE_EQ(fired_at, 3.5);
+}
+
+TEST(EventQueue, RunUntilStopsEarly) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(1.0, [&] { ++fired; });
+  queue.schedule(5.0, [&] { ++fired; });
+  EXPECT_EQ(queue.run(2.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.pending(), 1u);
+  EXPECT_DOUBLE_EQ(queue.now(), 2.0);  // Clock advances to the horizon.
+  EXPECT_EQ(queue.run(), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue queue;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) queue.schedule_in(1.0, recurse);
+  };
+  queue.schedule(0.0, recurse);
+  EXPECT_EQ(queue.run(), 5u);
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(queue.now(), 4.0);
+}
+
+TEST(EventQueue, EmptyQueueProperties) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.run(), 0u);
+  EXPECT_DOUBLE_EQ(queue.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace mmtag::mac

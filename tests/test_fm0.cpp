@@ -1,0 +1,90 @@
+// FM0 line-code tests (src/phy/fm0) — the encoding the RFID baseline uses.
+#include "src/phy/fm0.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/rng.hpp"
+
+namespace mmtag::phy {
+namespace {
+
+TEST(Fm0, EncodesKnownPattern) {
+  // From idle-high: first bit always starts with an inversion (to low).
+  // '1' holds its level across the bit, '0' flips mid-bit.
+  const BitVector chips = fm0_encode({true, false});
+  ASSERT_EQ(chips.size(), 4u);
+  EXPECT_EQ(chips[0], false);  // Boundary inversion from idle high.
+  EXPECT_EQ(chips[1], false);  // '1': no mid-bit flip.
+  EXPECT_EQ(chips[2], true);   // Boundary inversion again.
+  EXPECT_EQ(chips[3], false);  // '0': mid-bit flip.
+}
+
+TEST(Fm0, RoundTrip) {
+  auto rng = sim::make_rng(81);
+  std::bernoulli_distribution coin(0.5);
+  BitVector bits(513);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = coin(rng);
+  const auto decoded = fm0_decode(fm0_encode(bits));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, bits);
+}
+
+TEST(Fm0, BoundaryInversionAlwaysPresent) {
+  // Even an all-ones stream (which never flips mid-bit) inverts at every
+  // bit boundary: no run is longer than 2 chips.
+  const BitVector chips = fm0_encode(BitVector(64, true));
+  int run = 1;
+  for (std::size_t i = 1; i < chips.size(); ++i) {
+    run = chips[i] == chips[i - 1] ? run + 1 : 1;
+    EXPECT_LE(run, 2);
+  }
+}
+
+TEST(Fm0, ViolatedBoundaryRejected) {
+  BitVector chips = fm0_encode({true, true, false});
+  // Destroy the boundary inversion of the second bit.
+  chips[2] = chips[1];
+  EXPECT_FALSE(fm0_decode(chips).has_value());
+}
+
+TEST(Fm0, OddChipCountRejected) {
+  EXPECT_FALSE(fm0_decode(BitVector{true, false, true}).has_value());
+}
+
+TEST(Fm0, EmptyStreamIsEmpty) {
+  const auto decoded = fm0_decode(fm0_encode({}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(Fm0, TransitionDensityBetweenNrzAndManchester) {
+  // 1.5 edges/bit on average: more than random NRZ (0.5), less than
+  // Manchester (>= 1 guaranteed + boundary statistics).
+  EXPECT_DOUBLE_EQ(fm0_transitions_per_bit(), 1.5);
+}
+
+// Property: round trip holds for adversarial patterns.
+class Fm0PatternTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Fm0PatternTest, RoundTrips) {
+  BitVector bits;
+  const int pattern = GetParam();
+  for (int i = 0; i < 97; ++i) {
+    switch (pattern) {
+      case 0: bits.push_back(false); break;
+      case 1: bits.push_back(true); break;
+      case 2: bits.push_back(i % 2 == 0); break;
+      case 3: bits.push_back(i % 3 == 0); break;
+      default: bits.push_back((i * i) % 5 < 2); break;
+    }
+  }
+  const auto decoded = fm0_decode(fm0_encode(bits));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, Fm0PatternTest,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace mmtag::phy

@@ -1,0 +1,142 @@
+// Full-stack integration tests across the newest layers: frame sync over
+// the air, sessions on scenario timelines, 60 GHz retuning, and the
+// umbrella header.
+#include "src/mmtag.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace mmtag {
+namespace {
+
+// Stack slice 1: scan -> link -> *unaligned* stream at the link's SNR and
+// the tag's real modulation depth -> preamble sync -> frame. The most
+// realistic single-frame reception the library can express.
+TEST(FullStack, UnalignedStreamAtLinkOperatingPoint) {
+  auto rng = sim::make_rng(201);
+  const auto rates = phy::RateTable::mmtag_standard();
+  const core::MmTag tag = core::MmTag::prototype_at(
+      core::Pose{{0.0, 0.0}, 0.0}, 55);
+  const auto reader = reader::MmWaveReader::prototype_at(
+      core::Pose{{phys::feet_to_m(3.0), 0.0}, phys::kPi});
+  const auto link = reader.evaluate_link(tag, channel::Environment{}, rates);
+  ASSERT_GT(link.achievable_rate_bps, 0.0);
+  const auto tier = rates.best_tier(link.received_power_dbm);
+  const double snr_db = link.received_power_dbm -
+                        rates.noise().power_dbm(tier->bandwidth_hz);
+
+  const reader::ReceiveChain chain(reader::ReceiveChain::Params{8, true});
+  phy::TagFrame frame;
+  frame.tag_id = tag.id();
+  frame.payload = phy::BitVector(96, true);
+  const phy::Waveform body = chain.encode(frame, link.modulation_depth_db);
+
+  phy::Waveform stream(517, phy::Complex(0.0, 0.0));  // Unaligned start.
+  stream.insert(stream.end(), body.begin(), body.end());
+  stream.insert(stream.end(), 400, phy::Complex(0.0, 0.0));
+  phy::add_awgn(stream, phy::noise_power_for_snr(phy::mean_power(body),
+                                                 snr_db),
+                rng);
+
+  const auto results = chain.receive_stream(stream);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].frame.has_value());
+  EXPECT_EQ(results[0].frame->tag_id, 55u);
+}
+
+// Stack slice 2: run a scenario, then ask the session layer what each
+// timeline step is worth — connecting mobility to goodput.
+TEST(FullStack, ScenarioTimelineFeedsSessionAnalysis) {
+  sim::LinkScenario scenario(
+      reader::MmWaveReader::prototype_at(core::Pose{{0.0, 0.0}, 0.0}),
+      phy::RateTable::mmtag_standard(), sim::LinkScenario::Config{});
+  scenario.set_tag_trajectory(std::make_shared<channel::LinearMobility>(
+      channel::Vec2{0.7, 0.0}, channel::Vec2{0.2, 0.0}));
+  const sim::ScenarioResult timeline = scenario.run(6.0, 202);
+
+  const net::TransferSession session = net::TransferSession::mmtag_default();
+  double best_goodput = 0.0;
+  double last_goodput = -1.0;
+  for (const sim::TimelineRecord& record : timeline.timeline) {
+    reader::LinkReport link;
+    link.received_power_dbm = record.received_power_dbm;
+    const auto report = session.analyze(link, 1 << 20);
+    best_goodput = std::max(best_goodput, report.goodput_bps);
+    last_goodput = report.goodput_bps;
+  }
+  // Near start (~0.7 m) the link is gigabit-class: goodput > 300 Mbps.
+  EXPECT_GT(best_goodput, 3e8);
+  // After walking out to ~1.9 m it is slower but alive.
+  EXPECT_GT(last_goodput, 0.0);
+  EXPECT_LT(last_goodput, best_goodput);
+}
+
+// Stack slice 3: the footnote-3 retune — a 60 GHz Van Atta behaves like
+// the 24 GHz one, scaled.
+TEST(FullStack, SixtyGHzVanAttaRetune) {
+  core::VanAttaArray::Config config;
+  config.elements = 6;
+  config.frequency_hz = 60e9;
+  const em::TransmissionLine ref = em::TransmissionLine::mmtag_interconnect(0.0);
+  const double lambda_g = ref.guided_wavelength_m(60e9);
+  std::vector<em::TransmissionLine> lines(
+      3, em::TransmissionLine::mmtag_interconnect(lambda_g));
+  // Element retuned to 60 GHz with the same switch.
+  const em::RfSwitch fet = em::RfSwitch::ce3520k3();
+  const em::PatchResonator patch = em::PatchResonator::tuned_against_shunt(
+      60e9, 71.6, 40.0, fet.params().off_capacitance_f);
+  const em::PatchElement element(patch, fet, 50.0);
+  const core::VanAttaArray array(config, element, std::move(lines));
+
+  // Same aperture logic: retro peak returns to source, beamwidth like the
+  // 24 GHz prototype's (both are 6 elements at lambda/2 — beamwidth is
+  // element-count-driven, not frequency-driven).
+  const double peak = phys::rad_to_deg(
+      array.peak_reradiation_direction_rad(phys::deg_to_rad(25.0)));
+  EXPECT_NEAR(peak, 25.0, 4.0);
+  EXPECT_NEAR(array.retro_beamwidth_deg(0.0),
+              core::VanAttaArray::mmtag_prototype().retro_beamwidth_deg(0.0),
+              1.5);
+  // But the physical aperture is 2.5x smaller.
+  EXPECT_NEAR(array.geometry().spacing_m() * 6.0,
+              core::VanAttaArray::mmtag_prototype().geometry().spacing_m() *
+                  6.0 / 2.5,
+              1e-3);
+}
+
+// Stack slice 4: fragmentation + ARQ deliver a multi-frame payload over a
+// simulated lossy link, end to end with real frame drops.
+TEST(FullStack, FragmentedTransferOverLossyFrames) {
+  auto rng = sim::make_rng(203);
+  std::bernoulli_distribution coin(0.5);
+  phy::BitVector payload(3000);
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = coin(rng);
+
+  const auto frames = net::fragment_payload(9, payload, 256);
+  ASSERT_GT(frames.size(), 10u);
+
+  // Each frame transmission survives with p = 0.7; stop-and-wait retries.
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  net::Reassembler reassembler;
+  long transmissions = 0;
+  for (const auto& frame : frames) {
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      ++transmissions;
+      if (uniform(rng) < 0.7) {
+        ASSERT_TRUE(reassembler.accept(frame));
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(reassembler.complete());
+  EXPECT_EQ(*reassembler.payload(), payload);
+  // Retransmission count is near the geometric expectation 1/0.7.
+  const double per_frame =
+      static_cast<double>(transmissions) / static_cast<double>(frames.size());
+  EXPECT_NEAR(per_frame, 1.0 / 0.7, 0.45);
+}
+
+}  // namespace
+}  // namespace mmtag

@@ -1,0 +1,97 @@
+// Complex-impedance algebra tests (src/em/impedance).
+#include "src/em/impedance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/phys/constants.hpp"
+
+namespace mmtag::em {
+namespace {
+
+constexpr double kZ0 = 50.0;
+
+TEST(Impedance, LumpedElements) {
+  EXPECT_EQ(resistor(75.0), Complex(75.0, 0.0));
+  // 1 nH at 1 GHz: jwL = j6.283 ohm.
+  const Complex l = inductor(1e-9, 1e9);
+  EXPECT_NEAR(l.imag(), 6.2832, 1e-3);
+  EXPECT_DOUBLE_EQ(l.real(), 0.0);
+  // 1 pF at 1 GHz: 1/jwC = -j159.15 ohm.
+  const Complex c = capacitor(1e-12, 1e9);
+  EXPECT_NEAR(c.imag(), -159.155, 1e-2);
+}
+
+TEST(Impedance, SeriesAndParallel) {
+  EXPECT_EQ(series(resistor(20.0), resistor(30.0)), Complex(50.0, 0.0));
+  const Complex p = parallel(resistor(100.0), resistor(100.0));
+  EXPECT_NEAR(p.real(), 50.0, 1e-12);
+  EXPECT_NEAR(p.imag(), 0.0, 1e-12);
+}
+
+TEST(Impedance, ParallelWithShortIsShort) {
+  const Complex p = parallel(Complex(0.0, 0.0), resistor(100.0));
+  EXPECT_EQ(p, Complex(0.0, 0.0));
+}
+
+TEST(Impedance, ParallelResonance) {
+  // At resonance, L and C in parallel cancel (|Z| -> huge).
+  const double f = 1.0 / (phys::kTwoPi * std::sqrt(1e-9 * 1e-12));
+  const Complex z = parallel(inductor(1e-9, f), capacitor(1e-12, f));
+  EXPECT_GT(std::abs(z), 1e6);
+}
+
+TEST(Reflection, MatchedLoadHasNoReflection) {
+  const Complex gamma = reflection_coefficient(resistor(kZ0), kZ0);
+  EXPECT_NEAR(std::abs(gamma), 0.0, 1e-15);
+  EXPECT_LE(s11_db(resistor(kZ0), kZ0), -79.0);  // Clamped deep floor.
+}
+
+TEST(Reflection, ShortAndOpenReflectFully) {
+  EXPECT_NEAR(std::abs(reflection_coefficient(Complex(0, 0), kZ0)), 1.0,
+              1e-12);
+  EXPECT_NEAR(std::abs(reflection_coefficient(resistor(1e12), kZ0)), 1.0,
+              1e-9);
+  // Short reflects with 180-degree phase; open with 0.
+  EXPECT_NEAR(reflection_coefficient(Complex(0, 0), kZ0).real(), -1.0, 1e-12);
+  EXPECT_NEAR(reflection_coefficient(resistor(1e12), kZ0).real(), 1.0, 1e-9);
+}
+
+TEST(Reflection, KnownMismatch) {
+  // 100 ohm on 50: Gamma = 1/3, S11 = -9.54 dB, VSWR = 2.
+  EXPECT_NEAR(std::abs(reflection_coefficient(resistor(100.0), kZ0)),
+              1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s11_db(resistor(100.0), kZ0), -9.542, 1e-3);
+  EXPECT_NEAR(vswr(resistor(100.0), kZ0), 2.0, 1e-12);
+}
+
+TEST(Reflection, PowerAcceptanceComplementsReflection) {
+  const Complex z(30.0, 40.0);
+  const double gamma2 = std::norm(reflection_coefficient(z, kZ0));
+  EXPECT_NEAR(power_acceptance(z, kZ0), 1.0 - gamma2, 1e-12);
+}
+
+TEST(Reflection, PurelyReactiveLoadAcceptsNothing) {
+  EXPECT_NEAR(power_acceptance(inductor(1e-9, 24e9), kZ0), 0.0, 1e-12);
+}
+
+// Property: gamma <-> impedance round trip for assorted passive loads.
+class GammaRoundTripTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(GammaRoundTripTest, RoundTrips) {
+  const auto [re, im] = GetParam();
+  const Complex z(re, im);
+  const Complex gamma = reflection_coefficient(z, kZ0);
+  const Complex back = gamma_to_impedance(gamma, kZ0);
+  EXPECT_NEAR(back.real(), re, 1e-9);
+  EXPECT_NEAR(back.imag(), im, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Loads, GammaRoundTripTest,
+    ::testing::Values(std::pair{50.0, 0.0}, std::pair{75.0, 25.0},
+                      std::pair{10.0, -80.0}, std::pair{200.0, 5.0},
+                      std::pair{1.0, 0.1}));
+
+}  // namespace
+}  // namespace mmtag::em

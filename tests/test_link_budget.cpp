@@ -1,0 +1,86 @@
+// Two-way backscatter link-budget tests (src/phys/link_budget).
+#include "src/phys/link_budget.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/phys/constants.hpp"
+#include "src/phys/pathloss.hpp"
+#include "src/phys/units.hpp"
+
+namespace mmtag::phys {
+namespace {
+
+TEST(LinkBudget, PrototypeUsesPaperTxPower) {
+  const auto budget = BackscatterLinkBudget::mmtag_prototype();
+  EXPECT_NEAR(budget.tx_power_dbm, 13.0103, 1e-3);  // 20 mW.
+  EXPECT_DOUBLE_EQ(budget.frequency_hz, kMmTagCarrierHz);
+}
+
+TEST(LinkBudget, FortyDbPerDecade) {
+  // Backscatter traverses the channel twice: 40 dB/decade, the defining
+  // slope of Fig. 7.
+  const auto budget = BackscatterLinkBudget::mmtag_prototype();
+  const double p1 = budget.received_power_dbm(1.0);
+  const double p10 = budget.received_power_dbm(10.0);
+  EXPECT_NEAR(p1 - p10, 40.0, 1e-9);
+}
+
+TEST(LinkBudget, MonostaticEqualsSymmetricBistatic) {
+  const auto budget = BackscatterLinkBudget::mmtag_prototype();
+  EXPECT_NEAR(budget.received_power_dbm(2.0),
+              budget.received_power_bistatic_dbm(2.0, 2.0), 1e-12);
+}
+
+TEST(LinkBudget, BistaticSplitsLoss) {
+  // Forward 1 m / reverse 4 m equals the geometric-mean monostatic link.
+  const auto budget = BackscatterLinkBudget::mmtag_prototype();
+  EXPECT_NEAR(budget.received_power_bistatic_dbm(1.0, 4.0),
+              budget.received_power_dbm(2.0), 1e-9);
+}
+
+TEST(LinkBudget, MaxRangeInvertsReceivedPower) {
+  const auto budget = BackscatterLinkBudget::mmtag_prototype();
+  const double target_dbm = -80.0;
+  const double range = budget.max_range_m(target_dbm);
+  EXPECT_NEAR(budget.received_power_dbm(range), target_dbm, 1e-9);
+}
+
+TEST(LinkBudget, FixedGainsSumCorrectly) {
+  BackscatterLinkBudget budget;
+  budget.reader_tx_gain_dbi = 10.0;
+  budget.reader_rx_gain_dbi = 11.0;
+  budget.tag_rx_gain_dbi = 5.0;
+  budget.tag_tx_gain_dbi = 6.0;
+  budget.modulation_loss_db = 3.0;
+  budget.implementation_loss_db = 4.0;
+  EXPECT_DOUBLE_EQ(budget.fixed_gains_db(), 10 + 11 + 5 + 6 - 3 - 4);
+}
+
+TEST(LinkBudget, MatchesManualFriisComposition) {
+  const auto budget = BackscatterLinkBudget::mmtag_prototype();
+  const double d = feet_to_m(4.0);
+  const double manual = budget.tx_power_dbm + budget.fixed_gains_db() -
+                        2.0 * free_space_path_loss_db(d, budget.frequency_hz);
+  EXPECT_NEAR(budget.received_power_dbm(d), manual, 1e-12);
+}
+
+// Property: more implementation loss strictly reduces range, for any target.
+class LinkBudgetLossTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LinkBudgetLossTest, LossShrinksRange) {
+  const double target_dbm = GetParam();
+  auto lossy = BackscatterLinkBudget::mmtag_prototype();
+  auto clean = lossy;
+  lossy.implementation_loss_db += 6.0;
+  // +6 dB two-way loss costs exactly 10^(6/40) in range.
+  EXPECT_NEAR(clean.max_range_m(target_dbm) / lossy.max_range_m(target_dbm),
+              std::pow(10.0, 6.0 / 40.0), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, LinkBudgetLossTest,
+                         ::testing::Values(-60.0, -70.0, -80.0, -90.0));
+
+}  // namespace
+}  // namespace mmtag::phys

@@ -1,0 +1,110 @@
+// Matching-network tests (src/em/matching).
+#include "src/em/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/em/resonator.hpp"
+#include "src/phys/constants.hpp"
+
+namespace mmtag::em {
+namespace {
+
+TEST(SParams, AbcdRoundTrip) {
+  // A lossy line's ABCD -> S -> ABCD must reproduce itself.
+  const TransmissionLine line = TransmissionLine::mmtag_interconnect(0.007);
+  const AbcdMatrix original = line.abcd(24e9);
+  const SParams s = abcd_to_s(original, 50.0);
+  const AbcdMatrix back = s_to_abcd(s, 50.0);
+  EXPECT_NEAR(std::abs(back.a - original.a), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(back.b - original.b), 0.0, 1e-6);
+  EXPECT_NEAR(std::abs(back.c - original.c), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(back.d - original.d), 0.0, 1e-9);
+}
+
+TEST(SParams, ThroughConnectionIsIdeal) {
+  const AbcdMatrix through;  // Identity.
+  const SParams s = abcd_to_s(through, 50.0);
+  EXPECT_NEAR(std::abs(s.s11), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(s.s21), 1.0, 1e-15);
+}
+
+TEST(SParams, ReciprocalPassiveLine) {
+  const TransmissionLine line = TransmissionLine::mmtag_interconnect(0.01);
+  const SParams s = abcd_to_s(line.abcd(24e9), 50.0);
+  // Reciprocity: S12 == S21. Passivity: |S21| <= 1.
+  EXPECT_NEAR(std::abs(s.s12 - s.s21), 0.0, 1e-12);
+  EXPECT_LE(std::abs(s.s21), 1.0);
+  // Matched line: S11 ~ 0.
+  EXPECT_NEAR(std::abs(s.s11), 0.0, 1e-9);
+}
+
+TEST(LSection, MatchesHighResistanceLoad) {
+  // Pozar example territory: 100 + j50 ohm to 50 ohm.
+  const Complex load(100.0, 50.0);
+  const auto section = design_l_section(load, 50.0);
+  ASSERT_TRUE(section.has_value());
+  const Complex zin = matched_input_impedance(*section, load);
+  EXPECT_NEAR(zin.real(), 50.0, 1e-6);
+  EXPECT_NEAR(zin.imag(), 0.0, 1e-6);
+}
+
+TEST(LSection, MatchesLowResistanceLoad) {
+  const Complex load(20.0, -30.0);
+  const auto section = design_l_section(load, 50.0);
+  ASSERT_TRUE(section.has_value());
+  EXPECT_FALSE(section->shunt_at_load);
+  const Complex zin = matched_input_impedance(*section, load);
+  EXPECT_NEAR(zin.real(), 50.0, 1e-6);
+  EXPECT_NEAR(zin.imag(), 0.0, 1e-6);
+}
+
+TEST(LSection, RejectsLosslessLoad) {
+  EXPECT_FALSE(design_l_section(Complex(0.0, 40.0), 50.0).has_value());
+}
+
+TEST(LSection, MatchesTheMmTagPatch) {
+  // The actual design task the prototype implies: match the 71.6-ohm patch
+  // (at resonance) to the 50-ohm Van Atta line.
+  const PatchResonator patch = PatchResonator::mmtag_element();
+  const Complex load = patch.impedance(patch.resonant_frequency_hz());
+  const auto section = design_l_section(load, 50.0);
+  ASSERT_TRUE(section.has_value());
+  const Complex zin = matched_input_impedance(*section, load);
+  EXPECT_NEAR(zin.real(), 50.0, 1e-6);
+  EXPECT_NEAR(std::abs(zin.imag()), 0.0, 1e-6);
+  // The matched element would deepen Fig. 6's dip from -15 dB toward the
+  // numeric floor.
+  EXPECT_LT(s11_db(zin, 50.0), -60.0);
+}
+
+TEST(LSection, AbcdRealizationAgreesWithDirectFormula) {
+  const Complex load(100.0, 50.0);
+  const auto section = design_l_section(load, 50.0);
+  ASSERT_TRUE(section.has_value());
+  const Complex via_abcd = section->abcd().input_impedance(load);
+  const Complex direct = matched_input_impedance(*section, load);
+  EXPECT_NEAR(std::abs(via_abcd - direct), 0.0, 1e-9);
+}
+
+// Property: the design matches across a spread of realistic loads.
+class LSectionSweepTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(LSectionSweepTest, AchievesMatch) {
+  const auto [r, x] = GetParam();
+  const Complex load(r, x);
+  const auto section = design_l_section(load, 50.0);
+  ASSERT_TRUE(section.has_value());
+  const Complex zin = matched_input_impedance(*section, load);
+  EXPECT_NEAR(zin.real(), 50.0, 1e-6);
+  EXPECT_NEAR(zin.imag(), 0.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Loads, LSectionSweepTest,
+    ::testing::Values(std::pair{71.6, 0.0}, std::pair{120.0, -40.0},
+                      std::pair{30.0, 10.0}, std::pair{15.0, -60.0},
+                      std::pair{200.0, 80.0}, std::pair{50.0, 35.0}));
+
+}  // namespace
+}  // namespace mmtag::em

@@ -1,0 +1,114 @@
+// Multipath-combination tests (src/channel/multipath).
+#include "src/channel/multipath.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/channel/propagation.hpp"
+#include "src/phys/constants.hpp"
+#include "src/phys/units.hpp"
+
+namespace mmtag::channel {
+namespace {
+
+constexpr double kF = 24e9;
+
+Path los_path(double length_m) {
+  Path path;
+  path.kind = PathKind::kLineOfSight;
+  path.length_m = length_m;
+  return path;
+}
+
+TEST(Multipath, OneMeterReferenceIsUnity) {
+  EXPECT_NEAR(std::abs(path_coefficient(los_path(1.0), kF)), 1.0, 1e-12);
+}
+
+TEST(Multipath, MagnitudeFollowsPropagationLoss) {
+  const Path path = los_path(3.0);
+  const double expected_db = propagation_loss_db(3.0, kF) -
+                             propagation_loss_db(1.0, kF);
+  EXPECT_NEAR(phys::amplitude_ratio_to_db(
+                  1.0 / std::abs(path_coefficient(path, kF))),
+              expected_db, 1e-9);
+}
+
+TEST(Multipath, ExcessLossReducesMagnitude) {
+  Path lossy = los_path(2.0);
+  lossy.excess_loss_db = 6.0;
+  EXPECT_NEAR(std::abs(path_coefficient(los_path(2.0), kF)) /
+                  std::abs(path_coefficient(lossy, kF)),
+              phys::db_to_amplitude_ratio(6.0), 1e-9);
+}
+
+TEST(Multipath, HalfWavelengthPathDifferenceCancels) {
+  // Two equal-strength paths differing by lambda/2 interfere destructively.
+  const double lambda = phys::wavelength_m(kF);
+  const Path a = los_path(2.0);
+  const Path b = los_path(2.0 + lambda / 2.0);
+  const std::vector<Path> paths = {a, b};
+  const Complex h = combine_paths(paths, kF);
+  EXPECT_LT(std::abs(h), 0.01 * std::abs(path_coefficient(a, kF)));
+}
+
+TEST(Multipath, FullWavelengthDifferenceAdds) {
+  const double lambda = phys::wavelength_m(kF);
+  const Path a = los_path(2.0);
+  const Path b = los_path(2.0 + lambda);
+  const std::vector<Path> paths = {a, b};
+  const Complex h = combine_paths(paths, kF);
+  // Within ~0.5%: the extra wavelength of travel costs a sliver of
+  // amplitude even though the phases align.
+  EXPECT_NEAR(std::abs(h), 2.0 * std::abs(path_coefficient(a, kF)), 6e-3);
+}
+
+TEST(Multipath, BackscatterGainIsFortyLog) {
+  const std::vector<Path> single = {los_path(3.0)};
+  const double one_way_db = propagation_loss_db(3.0, kF) -
+                            propagation_loss_db(1.0, kF);
+  EXPECT_NEAR(backscatter_gain_db(single, kF), -2.0 * one_way_db, 1e-9);
+}
+
+TEST(Multipath, FadingDepthSignificantWithAWall) {
+  // LOS + a wall bounce at comparable strength: moving the tag by a few
+  // wavelengths must swing the two-way gain by several dB.
+  Environment env;
+  env.add_wall(Wall{Segment{{-10, 0.4}, {10, 0.4}}, 0.0});  // Metal, ~1 dB.
+  const double depth = fading_depth_db(env, {3.0, 0.0}, {0.0, 0.0},
+                                       /*displacement_m=*/0.05,
+                                       /*steps=*/100, kF);
+  EXPECT_GT(depth, 6.0);
+  EXPECT_LT(depth, 60.0);
+}
+
+TEST(Multipath, NoFadingInFreeSpace) {
+  const Environment env;
+  const double depth =
+      fading_depth_db(env, {3.0, 0.0}, {0.0, 0.0}, 0.05, 50, kF);
+  // Only the smooth 1/d decay over 5 cm: a fraction of a dB.
+  EXPECT_LT(depth, 1.0);
+}
+
+// Property: adding a path can change power by at most +6 dB (coherent
+// doubling) relative to the stronger path alone, and the combined gain is
+// never below the cancellation of the two strongest paths... the robust
+// invariant: |h_combined| <= sum of |h_i| (triangle inequality).
+class MultipathTriangleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MultipathTriangleTest, TriangleInequality) {
+  const double extra = GetParam();
+  const std::vector<Path> paths = {los_path(2.0), los_path(2.0 + extra)};
+  double magnitude_sum = 0.0;
+  for (const Path& p : paths) {
+    magnitude_sum += std::abs(path_coefficient(p, kF));
+  }
+  EXPECT_LE(std::abs(combine_paths(paths, kF)), magnitude_sum + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, MultipathTriangleTest,
+                         ::testing::Values(0.001, 0.0031, 0.00625, 0.0125,
+                                           0.5, 1.7));
+
+}  // namespace
+}  // namespace mmtag::channel

@@ -1,0 +1,93 @@
+// Mutual-coupling tests (src/antenna/mutual_coupling + its effect on the
+// Van Atta array).
+#include "src/antenna/mutual_coupling.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/van_atta.hpp"
+#include "src/phys/constants.hpp"
+#include "src/phys/units.hpp"
+
+namespace mmtag {
+namespace {
+
+using antenna::CouplingMatrix;
+
+TEST(Coupling, IdentityLeavesVectorsAlone) {
+  const CouplingMatrix identity = CouplingMatrix::identity(4);
+  const std::vector<CouplingMatrix::Complex> x = {
+      {1, 0}, {0, 1}, {-1, 0}, {0.5, -0.5}};
+  const auto y = identity.apply(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-15);
+  }
+}
+
+TEST(Coupling, MatrixIsSymmetricToeplitz) {
+  const CouplingMatrix c = CouplingMatrix::typical_patch(6);
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      EXPECT_EQ(c.at(i, j), c.at(j, i));
+      if (i + 1 < 6 && j + 1 < 6) {
+        EXPECT_EQ(c.at(i, j), c.at(i + 1, j + 1));
+      }
+    }
+  }
+}
+
+TEST(Coupling, RingsDecayGeometrically) {
+  const CouplingMatrix::Complex adjacent = std::polar(0.2, 1.0);
+  const CouplingMatrix c(8, adjacent, 2);
+  EXPECT_NEAR(std::abs(c.at(0, 1)), 0.2, 1e-12);
+  EXPECT_NEAR(std::abs(c.at(0, 2)), 0.04, 1e-12);
+  EXPECT_NEAR(std::abs(c.at(0, 3)), 0.0, 1e-12);  // Beyond 2 rings.
+}
+
+TEST(Coupling, ToeplitzIsAlwaysPersymmetric) {
+  EXPECT_TRUE(CouplingMatrix::typical_patch(6).is_persymmetric());
+  EXPECT_TRUE(CouplingMatrix(5, std::polar(0.3, -0.7), 3).is_persymmetric());
+}
+
+TEST(VanAttaCoupling, TypicalCouplingCostsLittleGain) {
+  core::VanAttaArray clean = core::VanAttaArray::mmtag_prototype();
+  core::VanAttaArray coupled = core::VanAttaArray::mmtag_prototype();
+  coupled.set_mutual_coupling(antenna::CouplingMatrix::typical_patch(6));
+  const double clean_db = clean.monostatic_gain_db(0.0);
+  const double coupled_db = coupled.monostatic_gain_db(0.0);
+  EXPECT_NEAR(coupled_db, clean_db, 2.0);  // Within a couple of dB.
+}
+
+TEST(VanAttaCoupling, ClearRestoresBaseline) {
+  core::VanAttaArray array = core::VanAttaArray::mmtag_prototype();
+  const double baseline = array.monostatic_gain_db(0.3);
+  array.set_mutual_coupling(antenna::CouplingMatrix::typical_patch(6));
+  array.clear_mutual_coupling();
+  EXPECT_DOUBLE_EQ(array.monostatic_gain_db(0.3), baseline);
+}
+
+// The headline property: persymmetric coupling does NOT break
+// retrodirectivity — the re-radiated peak still returns to the source
+// across incidence angles, even with strong coupling.
+class CoupledRetroTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoupledRetroTest, RetroSurvivesCoupling) {
+  const double incidence_deg = GetParam();
+  core::VanAttaArray array = core::VanAttaArray::mmtag_prototype();
+  // Stronger than typical: -10 dB adjacent coupling.
+  array.set_mutual_coupling(antenna::CouplingMatrix(
+      6, std::polar(phys::db_to_amplitude_ratio(-10.0), phys::kPi / 2.0)));
+  const double peak_deg = phys::rad_to_deg(
+      array.peak_reradiation_direction_rad(
+          phys::deg_to_rad(incidence_deg)));
+  const double tolerance_deg = 1.5 + 0.15 * std::abs(incidence_deg);
+  EXPECT_NEAR(peak_deg, incidence_deg, tolerance_deg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, CoupledRetroTest,
+                         ::testing::Values(-45.0, -20.0, 0.0, 10.0, 30.0,
+                                           50.0));
+
+}  // namespace
+}  // namespace mmtag

@@ -1,0 +1,87 @@
+// Propagation-model and environment tests (src/channel/propagation,
+// src/channel/environment).
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/channel/environment.hpp"
+#include "src/channel/propagation.hpp"
+#include "src/phys/pathloss.hpp"
+#include "src/phys/units.hpp"
+
+namespace mmtag::channel {
+namespace {
+
+TEST(Atmosphere, NegligibleAt24GHz) {
+  // Sub-0.5 dB/km at the mmTag band: free space dominates indoors.
+  EXPECT_LT(atmospheric_attenuation_db_per_km(24e9), 0.5);
+}
+
+TEST(Atmosphere, OxygenPeaksNear60GHz) {
+  const double at60 = atmospheric_attenuation_db_per_km(60e9);
+  EXPECT_GT(at60, 10.0);
+  EXPECT_GT(at60, atmospheric_attenuation_db_per_km(45e9));
+  EXPECT_GT(at60, atmospheric_attenuation_db_per_km(77e9));
+}
+
+TEST(Propagation, ReducesToFsplIndoors) {
+  // Over 3 m at 24 GHz the gaseous term is micro-dB.
+  const double total = propagation_loss_db(3.0, 24e9);
+  const double fspl = phys::free_space_path_loss_db(3.0, 24e9);
+  EXPECT_NEAR(total, fspl, 0.01);
+}
+
+TEST(Propagation, SixtyGHzOutdoorGapMatters) {
+  // At 500 m, the 60 GHz oxygen line costs several dB beyond FSPL.
+  const double total = propagation_loss_db(500.0, 60e9);
+  const double fspl = phys::free_space_path_loss_db(500.0, 60e9);
+  EXPECT_GT(total - fspl, 5.0);
+}
+
+TEST(ReflectionLoss, RoughnessRange) {
+  EXPECT_NEAR(reflection_loss_db(0.0), 1.0, 1e-12);   // Polished metal.
+  EXPECT_NEAR(reflection_loss_db(1.0), 12.0, 1e-12);  // Rough masonry.
+  EXPECT_GT(reflection_loss_db(0.8), reflection_loss_db(0.2));
+  // Clamped outside [0, 1].
+  EXPECT_DOUBLE_EQ(reflection_loss_db(-1.0), reflection_loss_db(0.0));
+  EXPECT_DOUBLE_EQ(reflection_loss_db(2.0), reflection_loss_db(1.0));
+}
+
+TEST(Blockage, EffectivelySeversLink) {
+  // 35 dB of body loss applied twice (backscatter) is a 70 dB hole —
+  // exactly the paper's motivation for NLOS fallback.
+  EXPECT_GE(blockage_loss_db(), 30.0);
+}
+
+TEST(Environment, EmptyHasLineOfSight) {
+  const Environment env;
+  EXPECT_FALSE(env.line_of_sight_blocked({0, 0}, {5, 5}));
+}
+
+TEST(Environment, ObstacleBlocks) {
+  Environment env;
+  env.add_obstacle(Obstacle{Segment{{1, -1}, {1, 1}}});
+  EXPECT_TRUE(env.line_of_sight_blocked({0, 0}, {2, 0}));
+  EXPECT_FALSE(env.line_of_sight_blocked({0, 0}, {0.5, 0}));
+}
+
+TEST(Environment, WallsDoNotBlock) {
+  Environment env;
+  env.add_wall(Wall{Segment{{1, -1}, {1, 1}}, 0.5});
+  EXPECT_FALSE(env.line_of_sight_blocked({0, 0}, {2, 0}));
+}
+
+TEST(Environment, OfficeRoomHasFourWalls) {
+  const Environment office = Environment::office_room();
+  EXPECT_EQ(office.walls().size(), 4u);
+  EXPECT_TRUE(office.obstacles().empty());
+  // The north wall is the designated smooth reflector.
+  double smoothest = 1.0;
+  for (const Wall& wall : office.walls()) {
+    smoothest = std::min(smoothest, wall.roughness);
+  }
+  EXPECT_NEAR(smoothest, 0.2, 1e-12);
+}
+
+}  // namespace
+}  // namespace mmtag::channel

@@ -1,0 +1,155 @@
+// mmWave reader tests (src/reader/reader) — pins the paper's Fig. 7
+// headline results end to end through the circuit models.
+#include "src/reader/reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/phys/constants.hpp"
+#include "src/phys/units.hpp"
+
+namespace mmtag::reader {
+namespace {
+
+core::MmTag tag_at_origin() {
+  return core::MmTag::prototype_at(core::Pose{{0.0, 0.0}, 0.0});
+}
+
+MmWaveReader reader_facing_tag(double range_m) {
+  // Reader on the +x axis looking back toward the origin.
+  return MmWaveReader::prototype_at(
+      core::Pose{{range_m, 0.0}, phys::kPi});
+}
+
+TEST(Reader, GainFollowsSteering) {
+  MmWaveReader reader = reader_facing_tag(1.0);
+  reader.steer_to_world(0.5);
+  EXPECT_NEAR(reader.gain_dbi(0.5), 20.0, 1e-9);
+  EXPECT_LT(reader.gain_dbi(0.5 + phys::deg_to_rad(30.0)), 10.0);
+}
+
+TEST(Reader, Figure7HeadlineOneGbpsAtFourFeet) {
+  // "robust communication rates of 1 Gbps at a range of 4 ft".
+  const auto reader = reader_facing_tag(phys::feet_to_m(4.0));
+  const auto link = reader.evaluate_link(
+      tag_at_origin(), channel::Environment{},
+      phy::RateTable::mmtag_standard());
+  EXPECT_DOUBLE_EQ(link.achievable_rate_bps, 1e9);
+}
+
+TEST(Reader, Figure7HeadlineTenMbpsAtTenFeet) {
+  // "... and 10 Mbps at a range of 10 ft."
+  const auto reader = reader_facing_tag(phys::feet_to_m(10.0));
+  const auto link = reader.evaluate_link(
+      tag_at_origin(), channel::Environment{},
+      phy::RateTable::mmtag_standard());
+  EXPECT_DOUBLE_EQ(link.achievable_rate_bps, 1e7);
+}
+
+TEST(Reader, Figure7PowerLevelAtTwoFeet) {
+  // The measured curve passes ~ -50 dBm at 2 ft (calibration anchor).
+  const auto reader = reader_facing_tag(phys::feet_to_m(2.0));
+  const auto link = reader.evaluate_link(
+      tag_at_origin(), channel::Environment{},
+      phy::RateTable::mmtag_standard());
+  EXPECT_NEAR(link.received_power_dbm, -51.0, 2.0);
+}
+
+TEST(Reader, FortyDbPerDecadeThroughTheModels) {
+  const channel::Environment env;
+  const auto rates = phy::RateTable::mmtag_standard();
+  const auto tag = tag_at_origin();
+  const double p1 =
+      reader_facing_tag(1.0).evaluate_link(tag, env, rates)
+          .received_power_dbm;
+  const double p10 =
+      reader_facing_tag(10.0).evaluate_link(tag, env, rates)
+          .received_power_dbm;
+  EXPECT_NEAR(p1 - p10, 40.0, 0.01);
+}
+
+TEST(Reader, ModulationDepthSurvivesTheLink) {
+  const auto reader = reader_facing_tag(1.0);
+  const auto link = reader.evaluate_link(
+      tag_at_origin(), channel::Environment{},
+      phy::RateTable::mmtag_standard());
+  EXPECT_GT(link.modulation_depth_db, 8.0);
+}
+
+TEST(Reader, MissteeredBeamLosesTheTag) {
+  MmWaveReader reader = reader_facing_tag(phys::feet_to_m(4.0));
+  reader.steer_to_world(phys::kPi + phys::deg_to_rad(40.0));  // Way off.
+  const auto link = reader.evaluate_link(
+      tag_at_origin(), channel::Environment{},
+      phy::RateTable::mmtag_standard());
+  // Two-way horn penalty (~2 x 30 dB): the link collapses.
+  EXPECT_DOUBLE_EQ(link.achievable_rate_bps, 0.0);
+}
+
+TEST(Reader, BlockedLosSwitchesToWallReflection) {
+  // Paper Sec. 4: "when the LOS path is blocked, the tag and the reader
+  // choose an NLOS path to communicate."
+  // Corridor geometry: a smooth side wall runs parallel to the link, so
+  // the bounce arrives within the tag's field of view (~33 degrees off
+  // boresight) instead of from the side.
+  channel::Environment env;
+  env.add_wall(channel::Wall{channel::Segment{{-2, 0.3}, {2, 0.3}}, 0.1});
+  env.add_obstacle(
+      channel::Obstacle{channel::Segment{{0.45, -0.1}, {0.45, 0.1}}});
+
+  core::MmTag tag = tag_at_origin();
+  MmWaveReader reader = reader_facing_tag(phys::feet_to_m(3.0));
+  // Steer toward the wall-bounce departure direction.
+  const auto paths =
+      channel::trace_paths(env, reader.pose().position, tag.pose().position);
+  ASSERT_GE(paths.size(), 2u);
+  const auto& bounce = paths[1].kind == channel::PathKind::kReflected
+                           ? paths[1]
+                           : paths[0];
+  reader.steer_to_world(bounce.departure_rad);
+
+  const auto reports = reader.evaluate_all_paths(
+      tag, env, phy::RateTable::mmtag_standard());
+  ASSERT_FALSE(reports.empty());
+  // Best report must be the reflected path, and it must still carry data.
+  EXPECT_EQ(reports.front().path.kind, channel::PathKind::kReflected);
+  EXPECT_GT(reports.front().achievable_rate_bps, 0.0);
+}
+
+TEST(Reader, EvaluateAllPathsSortedByPower) {
+  const channel::Environment office = channel::Environment::office_room();
+  core::MmTag tag = core::MmTag::prototype_at(
+      core::Pose{{1.0, 2.0}, 0.0});
+  const auto reader = MmWaveReader::prototype_at(
+      core::Pose{{4.0, 2.0}, phys::kPi});
+  const auto reports = reader.evaluate_all_paths(
+      tag, office, phy::RateTable::mmtag_standard());
+  ASSERT_GE(reports.size(), 2u);
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_GE(reports[i - 1].received_power_dbm,
+              reports[i].received_power_dbm);
+  }
+}
+
+// Property: the rate tiers degrade monotonically with range, stepping
+// through the paper's 1 Gbps / 100 Mbps / 10 Mbps ladder.
+class ReaderRangeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ReaderRangeTest, RateNeverImprovesWithRange) {
+  const double feet = GetParam();
+  const channel::Environment env;
+  const auto rates = phy::RateTable::mmtag_standard();
+  const auto tag = tag_at_origin();
+  const double near_rate =
+      reader_facing_tag(phys::feet_to_m(feet))
+          .evaluate_link(tag, env, rates).achievable_rate_bps;
+  const double far_rate =
+      reader_facing_tag(phys::feet_to_m(feet + 2.0))
+          .evaluate_link(tag, env, rates).achievable_rate_bps;
+  EXPECT_GE(near_rate, far_rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, ReaderRangeTest,
+                         ::testing::Values(2.0, 4.0, 6.0, 8.0, 10.0, 12.0));
+
+}  // namespace
+}  // namespace mmtag::reader
