@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_a1_frequency.cpp" "bench/CMakeFiles/bench_a1_frequency.dir/bench_a1_frequency.cpp.o" "gcc" "bench/CMakeFiles/bench_a1_frequency.dir/bench_a1_frequency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mmtag_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mmtag_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/mmtag_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mmtag_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/mmtag_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mmtag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/mmtag_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/mmtag_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/antenna/CMakeFiles/mmtag_antenna.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/mmtag_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/mmtag_phys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

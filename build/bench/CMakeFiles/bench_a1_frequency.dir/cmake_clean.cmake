@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_frequency.dir/bench_a1_frequency.cpp.o"
+  "CMakeFiles/bench_a1_frequency.dir/bench_a1_frequency.cpp.o.d"
+  "bench_a1_frequency"
+  "bench_a1_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_tolerance.dir/bench_a2_tolerance.cpp.o"
+  "CMakeFiles/bench_a2_tolerance.dir/bench_a2_tolerance.cpp.o.d"
+  "bench_a2_tolerance"
+  "bench_a2_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_modulation.dir/bench_a4_modulation.cpp.o"
+  "CMakeFiles/bench_a4_modulation.dir/bench_a4_modulation.cpp.o.d"
+  "bench_a4_modulation"
+  "bench_a4_modulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_modulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

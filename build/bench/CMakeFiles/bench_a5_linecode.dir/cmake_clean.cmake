@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_linecode.dir/bench_a5_linecode.cpp.o"
+  "CMakeFiles/bench_a5_linecode.dir/bench_a5_linecode.cpp.o.d"
+  "bench_a5_linecode"
+  "bench_a5_linecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_linecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_pulse.dir/bench_a6_pulse.cpp.o"
+  "CMakeFiles/bench_a6_pulse.dir/bench_a6_pulse.cpp.o.d"
+  "bench_a6_pulse"
+  "bench_a6_pulse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_pulse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

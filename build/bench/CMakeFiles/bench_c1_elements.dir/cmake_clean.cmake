@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_elements.dir/bench_c1_elements.cpp.o"
+  "CMakeFiles/bench_c1_elements.dir/bench_c1_elements.cpp.o.d"
+  "bench_c1_elements"
+  "bench_c1_elements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_elements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_retrodirectivity.dir/bench_c2_retrodirectivity.cpp.o"
+  "CMakeFiles/bench_c2_retrodirectivity.dir/bench_c2_retrodirectivity.cpp.o.d"
+  "bench_c2_retrodirectivity"
+  "bench_c2_retrodirectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_retrodirectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

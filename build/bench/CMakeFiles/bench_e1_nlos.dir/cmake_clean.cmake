@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_nlos.dir/bench_e1_nlos.cpp.o"
+  "CMakeFiles/bench_e1_nlos.dir/bench_e1_nlos.cpp.o.d"
+  "bench_e1_nlos"
+  "bench_e1_nlos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_nlos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_mac.dir/bench_e2_mac.cpp.o"
+  "CMakeFiles/bench_e2_mac.dir/bench_e2_mac.cpp.o.d"
+  "bench_e2_mac"
+  "bench_e2_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_selfint.dir/bench_e3_selfint.cpp.o"
+  "CMakeFiles/bench_e3_selfint.dir/bench_e3_selfint.cpp.o.d"
+  "bench_e3_selfint"
+  "bench_e3_selfint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_selfint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

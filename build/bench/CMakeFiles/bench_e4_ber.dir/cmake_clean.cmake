@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_ber.dir/bench_e4_ber.cpp.o"
+  "CMakeFiles/bench_e4_ber.dir/bench_e4_ber.cpp.o.d"
+  "bench_e4_ber"
+  "bench_e4_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_goodput.dir/bench_e5_goodput.cpp.o"
+  "CMakeFiles/bench_e5_goodput.dir/bench_e5_goodput.cpp.o.d"
+  "bench_e5_goodput"
+  "bench_e5_goodput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

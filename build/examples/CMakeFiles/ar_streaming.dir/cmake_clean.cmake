@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ar_streaming.dir/ar_streaming.cpp.o"
+  "CMakeFiles/ar_streaming.dir/ar_streaming.cpp.o.d"
+  "ar_streaming"
+  "ar_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ar_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

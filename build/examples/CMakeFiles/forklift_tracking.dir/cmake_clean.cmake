@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forklift_tracking.dir/forklift_tracking.cpp.o"
+  "CMakeFiles/forklift_tracking.dir/forklift_tracking.cpp.o.d"
+  "forklift_tracking"
+  "forklift_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forklift_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlos_mobility.dir/nlos_mobility.cpp.o"
+  "CMakeFiles/nlos_mobility.dir/nlos_mobility.cpp.o.d"
+  "nlos_mobility"
+  "nlos_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlos_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_burst.dir/sensor_burst.cpp.o"
+  "CMakeFiles/sensor_burst.dir/sensor_burst.cpp.o.d"
+  "sensor_burst"
+  "sensor_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

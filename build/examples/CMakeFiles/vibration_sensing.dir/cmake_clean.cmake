@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vibration_sensing.dir/vibration_sensing.cpp.o"
+  "CMakeFiles/vibration_sensing.dir/vibration_sensing.cpp.o.d"
+  "vibration_sensing"
+  "vibration_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vibration_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("phys")
+subdirs("em")
+subdirs("antenna")
+subdirs("channel")
+subdirs("core")
+subdirs("phy")
+subdirs("reader")
+subdirs("baselines")
+subdirs("mac")
+subdirs("net")
+subdirs("sim")

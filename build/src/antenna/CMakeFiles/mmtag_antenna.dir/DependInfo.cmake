@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/antenna/codebook.cpp" "src/antenna/CMakeFiles/mmtag_antenna.dir/codebook.cpp.o" "gcc" "src/antenna/CMakeFiles/mmtag_antenna.dir/codebook.cpp.o.d"
+  "/root/repo/src/antenna/mutual_coupling.cpp" "src/antenna/CMakeFiles/mmtag_antenna.dir/mutual_coupling.cpp.o" "gcc" "src/antenna/CMakeFiles/mmtag_antenna.dir/mutual_coupling.cpp.o.d"
+  "/root/repo/src/antenna/pattern.cpp" "src/antenna/CMakeFiles/mmtag_antenna.dir/pattern.cpp.o" "gcc" "src/antenna/CMakeFiles/mmtag_antenna.dir/pattern.cpp.o.d"
+  "/root/repo/src/antenna/phased_array.cpp" "src/antenna/CMakeFiles/mmtag_antenna.dir/phased_array.cpp.o" "gcc" "src/antenna/CMakeFiles/mmtag_antenna.dir/phased_array.cpp.o.d"
+  "/root/repo/src/antenna/ula.cpp" "src/antenna/CMakeFiles/mmtag_antenna.dir/ula.cpp.o" "gcc" "src/antenna/CMakeFiles/mmtag_antenna.dir/ula.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phys/CMakeFiles/mmtag_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/mmtag_em.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

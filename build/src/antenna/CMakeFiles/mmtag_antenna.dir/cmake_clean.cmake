@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtag_antenna.dir/codebook.cpp.o"
+  "CMakeFiles/mmtag_antenna.dir/codebook.cpp.o.d"
+  "CMakeFiles/mmtag_antenna.dir/mutual_coupling.cpp.o"
+  "CMakeFiles/mmtag_antenna.dir/mutual_coupling.cpp.o.d"
+  "CMakeFiles/mmtag_antenna.dir/pattern.cpp.o"
+  "CMakeFiles/mmtag_antenna.dir/pattern.cpp.o.d"
+  "CMakeFiles/mmtag_antenna.dir/phased_array.cpp.o"
+  "CMakeFiles/mmtag_antenna.dir/phased_array.cpp.o.d"
+  "CMakeFiles/mmtag_antenna.dir/ula.cpp.o"
+  "CMakeFiles/mmtag_antenna.dir/ula.cpp.o.d"
+  "libmmtag_antenna.a"
+  "libmmtag_antenna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtag_antenna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/active_radio.cpp" "src/baselines/CMakeFiles/mmtag_baselines.dir/active_radio.cpp.o" "gcc" "src/baselines/CMakeFiles/mmtag_baselines.dir/active_radio.cpp.o.d"
+  "/root/repo/src/baselines/backscatter_system.cpp" "src/baselines/CMakeFiles/mmtag_baselines.dir/backscatter_system.cpp.o" "gcc" "src/baselines/CMakeFiles/mmtag_baselines.dir/backscatter_system.cpp.o.d"
+  "/root/repo/src/baselines/fixed_beam_tag.cpp" "src/baselines/CMakeFiles/mmtag_baselines.dir/fixed_beam_tag.cpp.o" "gcc" "src/baselines/CMakeFiles/mmtag_baselines.dir/fixed_beam_tag.cpp.o.d"
+  "/root/repo/src/baselines/specular_plate.cpp" "src/baselines/CMakeFiles/mmtag_baselines.dir/specular_plate.cpp.o" "gcc" "src/baselines/CMakeFiles/mmtag_baselines.dir/specular_plate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phys/CMakeFiles/mmtag_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/antenna/CMakeFiles/mmtag_antenna.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mmtag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/mmtag_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/mmtag_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/mmtag_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

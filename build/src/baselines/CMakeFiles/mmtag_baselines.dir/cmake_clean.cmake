@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtag_baselines.dir/active_radio.cpp.o"
+  "CMakeFiles/mmtag_baselines.dir/active_radio.cpp.o.d"
+  "CMakeFiles/mmtag_baselines.dir/backscatter_system.cpp.o"
+  "CMakeFiles/mmtag_baselines.dir/backscatter_system.cpp.o.d"
+  "CMakeFiles/mmtag_baselines.dir/fixed_beam_tag.cpp.o"
+  "CMakeFiles/mmtag_baselines.dir/fixed_beam_tag.cpp.o.d"
+  "CMakeFiles/mmtag_baselines.dir/specular_plate.cpp.o"
+  "CMakeFiles/mmtag_baselines.dir/specular_plate.cpp.o.d"
+  "libmmtag_baselines.a"
+  "libmmtag_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtag_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

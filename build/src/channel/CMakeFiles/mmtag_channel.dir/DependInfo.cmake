@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/doppler.cpp" "src/channel/CMakeFiles/mmtag_channel.dir/doppler.cpp.o" "gcc" "src/channel/CMakeFiles/mmtag_channel.dir/doppler.cpp.o.d"
+  "/root/repo/src/channel/environment.cpp" "src/channel/CMakeFiles/mmtag_channel.dir/environment.cpp.o" "gcc" "src/channel/CMakeFiles/mmtag_channel.dir/environment.cpp.o.d"
+  "/root/repo/src/channel/geometry.cpp" "src/channel/CMakeFiles/mmtag_channel.dir/geometry.cpp.o" "gcc" "src/channel/CMakeFiles/mmtag_channel.dir/geometry.cpp.o.d"
+  "/root/repo/src/channel/mobility.cpp" "src/channel/CMakeFiles/mmtag_channel.dir/mobility.cpp.o" "gcc" "src/channel/CMakeFiles/mmtag_channel.dir/mobility.cpp.o.d"
+  "/root/repo/src/channel/multipath.cpp" "src/channel/CMakeFiles/mmtag_channel.dir/multipath.cpp.o" "gcc" "src/channel/CMakeFiles/mmtag_channel.dir/multipath.cpp.o.d"
+  "/root/repo/src/channel/propagation.cpp" "src/channel/CMakeFiles/mmtag_channel.dir/propagation.cpp.o" "gcc" "src/channel/CMakeFiles/mmtag_channel.dir/propagation.cpp.o.d"
+  "/root/repo/src/channel/raytrace.cpp" "src/channel/CMakeFiles/mmtag_channel.dir/raytrace.cpp.o" "gcc" "src/channel/CMakeFiles/mmtag_channel.dir/raytrace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phys/CMakeFiles/mmtag_phys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtag_channel.dir/doppler.cpp.o"
+  "CMakeFiles/mmtag_channel.dir/doppler.cpp.o.d"
+  "CMakeFiles/mmtag_channel.dir/environment.cpp.o"
+  "CMakeFiles/mmtag_channel.dir/environment.cpp.o.d"
+  "CMakeFiles/mmtag_channel.dir/geometry.cpp.o"
+  "CMakeFiles/mmtag_channel.dir/geometry.cpp.o.d"
+  "CMakeFiles/mmtag_channel.dir/mobility.cpp.o"
+  "CMakeFiles/mmtag_channel.dir/mobility.cpp.o.d"
+  "CMakeFiles/mmtag_channel.dir/multipath.cpp.o"
+  "CMakeFiles/mmtag_channel.dir/multipath.cpp.o.d"
+  "CMakeFiles/mmtag_channel.dir/propagation.cpp.o"
+  "CMakeFiles/mmtag_channel.dir/propagation.cpp.o.d"
+  "CMakeFiles/mmtag_channel.dir/raytrace.cpp.o"
+  "CMakeFiles/mmtag_channel.dir/raytrace.cpp.o.d"
+  "libmmtag_channel.a"
+  "libmmtag_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtag_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

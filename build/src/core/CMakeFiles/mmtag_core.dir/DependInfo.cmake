@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/energy.cpp" "src/core/CMakeFiles/mmtag_core.dir/energy.cpp.o" "gcc" "src/core/CMakeFiles/mmtag_core.dir/energy.cpp.o.d"
+  "/root/repo/src/core/harvester.cpp" "src/core/CMakeFiles/mmtag_core.dir/harvester.cpp.o" "gcc" "src/core/CMakeFiles/mmtag_core.dir/harvester.cpp.o.d"
+  "/root/repo/src/core/tag.cpp" "src/core/CMakeFiles/mmtag_core.dir/tag.cpp.o" "gcc" "src/core/CMakeFiles/mmtag_core.dir/tag.cpp.o.d"
+  "/root/repo/src/core/van_atta.cpp" "src/core/CMakeFiles/mmtag_core.dir/van_atta.cpp.o" "gcc" "src/core/CMakeFiles/mmtag_core.dir/van_atta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phys/CMakeFiles/mmtag_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/mmtag_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/antenna/CMakeFiles/mmtag_antenna.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/mmtag_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtag_core.dir/energy.cpp.o"
+  "CMakeFiles/mmtag_core.dir/energy.cpp.o.d"
+  "CMakeFiles/mmtag_core.dir/harvester.cpp.o"
+  "CMakeFiles/mmtag_core.dir/harvester.cpp.o.d"
+  "CMakeFiles/mmtag_core.dir/tag.cpp.o"
+  "CMakeFiles/mmtag_core.dir/tag.cpp.o.d"
+  "CMakeFiles/mmtag_core.dir/van_atta.cpp.o"
+  "CMakeFiles/mmtag_core.dir/van_atta.cpp.o.d"
+  "libmmtag_core.a"
+  "libmmtag_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtag_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

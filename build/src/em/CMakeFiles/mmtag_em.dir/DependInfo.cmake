@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/em/impedance.cpp" "src/em/CMakeFiles/mmtag_em.dir/impedance.cpp.o" "gcc" "src/em/CMakeFiles/mmtag_em.dir/impedance.cpp.o.d"
+  "/root/repo/src/em/matching.cpp" "src/em/CMakeFiles/mmtag_em.dir/matching.cpp.o" "gcc" "src/em/CMakeFiles/mmtag_em.dir/matching.cpp.o.d"
+  "/root/repo/src/em/patch_element.cpp" "src/em/CMakeFiles/mmtag_em.dir/patch_element.cpp.o" "gcc" "src/em/CMakeFiles/mmtag_em.dir/patch_element.cpp.o.d"
+  "/root/repo/src/em/resonator.cpp" "src/em/CMakeFiles/mmtag_em.dir/resonator.cpp.o" "gcc" "src/em/CMakeFiles/mmtag_em.dir/resonator.cpp.o.d"
+  "/root/repo/src/em/switch_model.cpp" "src/em/CMakeFiles/mmtag_em.dir/switch_model.cpp.o" "gcc" "src/em/CMakeFiles/mmtag_em.dir/switch_model.cpp.o.d"
+  "/root/repo/src/em/transmission_line.cpp" "src/em/CMakeFiles/mmtag_em.dir/transmission_line.cpp.o" "gcc" "src/em/CMakeFiles/mmtag_em.dir/transmission_line.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phys/CMakeFiles/mmtag_phys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

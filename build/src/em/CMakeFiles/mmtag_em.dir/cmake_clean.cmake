@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtag_em.dir/impedance.cpp.o"
+  "CMakeFiles/mmtag_em.dir/impedance.cpp.o.d"
+  "CMakeFiles/mmtag_em.dir/matching.cpp.o"
+  "CMakeFiles/mmtag_em.dir/matching.cpp.o.d"
+  "CMakeFiles/mmtag_em.dir/patch_element.cpp.o"
+  "CMakeFiles/mmtag_em.dir/patch_element.cpp.o.d"
+  "CMakeFiles/mmtag_em.dir/resonator.cpp.o"
+  "CMakeFiles/mmtag_em.dir/resonator.cpp.o.d"
+  "CMakeFiles/mmtag_em.dir/switch_model.cpp.o"
+  "CMakeFiles/mmtag_em.dir/switch_model.cpp.o.d"
+  "CMakeFiles/mmtag_em.dir/transmission_line.cpp.o"
+  "CMakeFiles/mmtag_em.dir/transmission_line.cpp.o.d"
+  "libmmtag_em.a"
+  "libmmtag_em.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtag_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

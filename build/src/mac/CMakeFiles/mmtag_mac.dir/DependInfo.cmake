@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/aloha.cpp" "src/mac/CMakeFiles/mmtag_mac.dir/aloha.cpp.o" "gcc" "src/mac/CMakeFiles/mmtag_mac.dir/aloha.cpp.o.d"
+  "/root/repo/src/mac/event_queue.cpp" "src/mac/CMakeFiles/mmtag_mac.dir/event_queue.cpp.o" "gcc" "src/mac/CMakeFiles/mmtag_mac.dir/event_queue.cpp.o.d"
+  "/root/repo/src/mac/inventory.cpp" "src/mac/CMakeFiles/mmtag_mac.dir/inventory.cpp.o" "gcc" "src/mac/CMakeFiles/mmtag_mac.dir/inventory.cpp.o.d"
+  "/root/repo/src/mac/mimo_reader.cpp" "src/mac/CMakeFiles/mmtag_mac.dir/mimo_reader.cpp.o" "gcc" "src/mac/CMakeFiles/mmtag_mac.dir/mimo_reader.cpp.o.d"
+  "/root/repo/src/mac/polling.cpp" "src/mac/CMakeFiles/mmtag_mac.dir/polling.cpp.o" "gcc" "src/mac/CMakeFiles/mmtag_mac.dir/polling.cpp.o.d"
+  "/root/repo/src/mac/tdma.cpp" "src/mac/CMakeFiles/mmtag_mac.dir/tdma.cpp.o" "gcc" "src/mac/CMakeFiles/mmtag_mac.dir/tdma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phys/CMakeFiles/mmtag_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/antenna/CMakeFiles/mmtag_antenna.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/mmtag_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mmtag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/mmtag_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/mmtag_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/mmtag_em.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtag_mac.dir/aloha.cpp.o"
+  "CMakeFiles/mmtag_mac.dir/aloha.cpp.o.d"
+  "CMakeFiles/mmtag_mac.dir/event_queue.cpp.o"
+  "CMakeFiles/mmtag_mac.dir/event_queue.cpp.o.d"
+  "CMakeFiles/mmtag_mac.dir/inventory.cpp.o"
+  "CMakeFiles/mmtag_mac.dir/inventory.cpp.o.d"
+  "CMakeFiles/mmtag_mac.dir/mimo_reader.cpp.o"
+  "CMakeFiles/mmtag_mac.dir/mimo_reader.cpp.o.d"
+  "CMakeFiles/mmtag_mac.dir/polling.cpp.o"
+  "CMakeFiles/mmtag_mac.dir/polling.cpp.o.d"
+  "CMakeFiles/mmtag_mac.dir/tdma.cpp.o"
+  "CMakeFiles/mmtag_mac.dir/tdma.cpp.o.d"
+  "libmmtag_mac.a"
+  "libmmtag_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtag_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtag_net.dir/arq.cpp.o"
+  "CMakeFiles/mmtag_net.dir/arq.cpp.o.d"
+  "CMakeFiles/mmtag_net.dir/fragmentation.cpp.o"
+  "CMakeFiles/mmtag_net.dir/fragmentation.cpp.o.d"
+  "CMakeFiles/mmtag_net.dir/session.cpp.o"
+  "CMakeFiles/mmtag_net.dir/session.cpp.o.d"
+  "libmmtag_net.a"
+  "libmmtag_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtag_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

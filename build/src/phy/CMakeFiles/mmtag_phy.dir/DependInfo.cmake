@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/ber.cpp" "src/phy/CMakeFiles/mmtag_phy.dir/ber.cpp.o" "gcc" "src/phy/CMakeFiles/mmtag_phy.dir/ber.cpp.o.d"
+  "/root/repo/src/phy/crc.cpp" "src/phy/CMakeFiles/mmtag_phy.dir/crc.cpp.o" "gcc" "src/phy/CMakeFiles/mmtag_phy.dir/crc.cpp.o.d"
+  "/root/repo/src/phy/fft.cpp" "src/phy/CMakeFiles/mmtag_phy.dir/fft.cpp.o" "gcc" "src/phy/CMakeFiles/mmtag_phy.dir/fft.cpp.o.d"
+  "/root/repo/src/phy/fm0.cpp" "src/phy/CMakeFiles/mmtag_phy.dir/fm0.cpp.o" "gcc" "src/phy/CMakeFiles/mmtag_phy.dir/fm0.cpp.o.d"
+  "/root/repo/src/phy/frame.cpp" "src/phy/CMakeFiles/mmtag_phy.dir/frame.cpp.o" "gcc" "src/phy/CMakeFiles/mmtag_phy.dir/frame.cpp.o.d"
+  "/root/repo/src/phy/line_code.cpp" "src/phy/CMakeFiles/mmtag_phy.dir/line_code.cpp.o" "gcc" "src/phy/CMakeFiles/mmtag_phy.dir/line_code.cpp.o.d"
+  "/root/repo/src/phy/modulation.cpp" "src/phy/CMakeFiles/mmtag_phy.dir/modulation.cpp.o" "gcc" "src/phy/CMakeFiles/mmtag_phy.dir/modulation.cpp.o.d"
+  "/root/repo/src/phy/ook.cpp" "src/phy/CMakeFiles/mmtag_phy.dir/ook.cpp.o" "gcc" "src/phy/CMakeFiles/mmtag_phy.dir/ook.cpp.o.d"
+  "/root/repo/src/phy/pulse.cpp" "src/phy/CMakeFiles/mmtag_phy.dir/pulse.cpp.o" "gcc" "src/phy/CMakeFiles/mmtag_phy.dir/pulse.cpp.o.d"
+  "/root/repo/src/phy/rate_adaptation.cpp" "src/phy/CMakeFiles/mmtag_phy.dir/rate_adaptation.cpp.o" "gcc" "src/phy/CMakeFiles/mmtag_phy.dir/rate_adaptation.cpp.o.d"
+  "/root/repo/src/phy/rate_table.cpp" "src/phy/CMakeFiles/mmtag_phy.dir/rate_table.cpp.o" "gcc" "src/phy/CMakeFiles/mmtag_phy.dir/rate_table.cpp.o.d"
+  "/root/repo/src/phy/scrambler.cpp" "src/phy/CMakeFiles/mmtag_phy.dir/scrambler.cpp.o" "gcc" "src/phy/CMakeFiles/mmtag_phy.dir/scrambler.cpp.o.d"
+  "/root/repo/src/phy/sync.cpp" "src/phy/CMakeFiles/mmtag_phy.dir/sync.cpp.o" "gcc" "src/phy/CMakeFiles/mmtag_phy.dir/sync.cpp.o.d"
+  "/root/repo/src/phy/timing.cpp" "src/phy/CMakeFiles/mmtag_phy.dir/timing.cpp.o" "gcc" "src/phy/CMakeFiles/mmtag_phy.dir/timing.cpp.o.d"
+  "/root/repo/src/phy/waveform.cpp" "src/phy/CMakeFiles/mmtag_phy.dir/waveform.cpp.o" "gcc" "src/phy/CMakeFiles/mmtag_phy.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phys/CMakeFiles/mmtag_phys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

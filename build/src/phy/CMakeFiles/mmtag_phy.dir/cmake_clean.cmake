@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtag_phy.dir/ber.cpp.o"
+  "CMakeFiles/mmtag_phy.dir/ber.cpp.o.d"
+  "CMakeFiles/mmtag_phy.dir/crc.cpp.o"
+  "CMakeFiles/mmtag_phy.dir/crc.cpp.o.d"
+  "CMakeFiles/mmtag_phy.dir/fft.cpp.o"
+  "CMakeFiles/mmtag_phy.dir/fft.cpp.o.d"
+  "CMakeFiles/mmtag_phy.dir/fm0.cpp.o"
+  "CMakeFiles/mmtag_phy.dir/fm0.cpp.o.d"
+  "CMakeFiles/mmtag_phy.dir/frame.cpp.o"
+  "CMakeFiles/mmtag_phy.dir/frame.cpp.o.d"
+  "CMakeFiles/mmtag_phy.dir/line_code.cpp.o"
+  "CMakeFiles/mmtag_phy.dir/line_code.cpp.o.d"
+  "CMakeFiles/mmtag_phy.dir/modulation.cpp.o"
+  "CMakeFiles/mmtag_phy.dir/modulation.cpp.o.d"
+  "CMakeFiles/mmtag_phy.dir/ook.cpp.o"
+  "CMakeFiles/mmtag_phy.dir/ook.cpp.o.d"
+  "CMakeFiles/mmtag_phy.dir/pulse.cpp.o"
+  "CMakeFiles/mmtag_phy.dir/pulse.cpp.o.d"
+  "CMakeFiles/mmtag_phy.dir/rate_adaptation.cpp.o"
+  "CMakeFiles/mmtag_phy.dir/rate_adaptation.cpp.o.d"
+  "CMakeFiles/mmtag_phy.dir/rate_table.cpp.o"
+  "CMakeFiles/mmtag_phy.dir/rate_table.cpp.o.d"
+  "CMakeFiles/mmtag_phy.dir/scrambler.cpp.o"
+  "CMakeFiles/mmtag_phy.dir/scrambler.cpp.o.d"
+  "CMakeFiles/mmtag_phy.dir/sync.cpp.o"
+  "CMakeFiles/mmtag_phy.dir/sync.cpp.o.d"
+  "CMakeFiles/mmtag_phy.dir/timing.cpp.o"
+  "CMakeFiles/mmtag_phy.dir/timing.cpp.o.d"
+  "CMakeFiles/mmtag_phy.dir/waveform.cpp.o"
+  "CMakeFiles/mmtag_phy.dir/waveform.cpp.o.d"
+  "libmmtag_phy.a"
+  "libmmtag_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtag_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phys/link_budget.cpp" "src/phys/CMakeFiles/mmtag_phys.dir/link_budget.cpp.o" "gcc" "src/phys/CMakeFiles/mmtag_phys.dir/link_budget.cpp.o.d"
+  "/root/repo/src/phys/noise.cpp" "src/phys/CMakeFiles/mmtag_phys.dir/noise.cpp.o" "gcc" "src/phys/CMakeFiles/mmtag_phys.dir/noise.cpp.o.d"
+  "/root/repo/src/phys/pathloss.cpp" "src/phys/CMakeFiles/mmtag_phys.dir/pathloss.cpp.o" "gcc" "src/phys/CMakeFiles/mmtag_phys.dir/pathloss.cpp.o.d"
+  "/root/repo/src/phys/units.cpp" "src/phys/CMakeFiles/mmtag_phys.dir/units.cpp.o" "gcc" "src/phys/CMakeFiles/mmtag_phys.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

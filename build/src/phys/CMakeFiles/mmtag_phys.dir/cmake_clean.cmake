@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtag_phys.dir/link_budget.cpp.o"
+  "CMakeFiles/mmtag_phys.dir/link_budget.cpp.o.d"
+  "CMakeFiles/mmtag_phys.dir/noise.cpp.o"
+  "CMakeFiles/mmtag_phys.dir/noise.cpp.o.d"
+  "CMakeFiles/mmtag_phys.dir/pathloss.cpp.o"
+  "CMakeFiles/mmtag_phys.dir/pathloss.cpp.o.d"
+  "CMakeFiles/mmtag_phys.dir/units.cpp.o"
+  "CMakeFiles/mmtag_phys.dir/units.cpp.o.d"
+  "libmmtag_phys.a"
+  "libmmtag_phys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtag_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

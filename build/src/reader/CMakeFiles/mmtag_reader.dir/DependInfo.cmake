@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reader/detector.cpp" "src/reader/CMakeFiles/mmtag_reader.dir/detector.cpp.o" "gcc" "src/reader/CMakeFiles/mmtag_reader.dir/detector.cpp.o.d"
+  "/root/repo/src/reader/interference.cpp" "src/reader/CMakeFiles/mmtag_reader.dir/interference.cpp.o" "gcc" "src/reader/CMakeFiles/mmtag_reader.dir/interference.cpp.o.d"
+  "/root/repo/src/reader/localization.cpp" "src/reader/CMakeFiles/mmtag_reader.dir/localization.cpp.o" "gcc" "src/reader/CMakeFiles/mmtag_reader.dir/localization.cpp.o.d"
+  "/root/repo/src/reader/reader.cpp" "src/reader/CMakeFiles/mmtag_reader.dir/reader.cpp.o" "gcc" "src/reader/CMakeFiles/mmtag_reader.dir/reader.cpp.o.d"
+  "/root/repo/src/reader/receive_chain.cpp" "src/reader/CMakeFiles/mmtag_reader.dir/receive_chain.cpp.o" "gcc" "src/reader/CMakeFiles/mmtag_reader.dir/receive_chain.cpp.o.d"
+  "/root/repo/src/reader/scanner.cpp" "src/reader/CMakeFiles/mmtag_reader.dir/scanner.cpp.o" "gcc" "src/reader/CMakeFiles/mmtag_reader.dir/scanner.cpp.o.d"
+  "/root/repo/src/reader/self_interference.cpp" "src/reader/CMakeFiles/mmtag_reader.dir/self_interference.cpp.o" "gcc" "src/reader/CMakeFiles/mmtag_reader.dir/self_interference.cpp.o.d"
+  "/root/repo/src/reader/tracking.cpp" "src/reader/CMakeFiles/mmtag_reader.dir/tracking.cpp.o" "gcc" "src/reader/CMakeFiles/mmtag_reader.dir/tracking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phys/CMakeFiles/mmtag_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/antenna/CMakeFiles/mmtag_antenna.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/mmtag_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mmtag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/mmtag_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/mmtag_em.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

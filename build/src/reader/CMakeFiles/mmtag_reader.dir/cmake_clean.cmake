@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtag_reader.dir/detector.cpp.o"
+  "CMakeFiles/mmtag_reader.dir/detector.cpp.o.d"
+  "CMakeFiles/mmtag_reader.dir/interference.cpp.o"
+  "CMakeFiles/mmtag_reader.dir/interference.cpp.o.d"
+  "CMakeFiles/mmtag_reader.dir/localization.cpp.o"
+  "CMakeFiles/mmtag_reader.dir/localization.cpp.o.d"
+  "CMakeFiles/mmtag_reader.dir/reader.cpp.o"
+  "CMakeFiles/mmtag_reader.dir/reader.cpp.o.d"
+  "CMakeFiles/mmtag_reader.dir/receive_chain.cpp.o"
+  "CMakeFiles/mmtag_reader.dir/receive_chain.cpp.o.d"
+  "CMakeFiles/mmtag_reader.dir/scanner.cpp.o"
+  "CMakeFiles/mmtag_reader.dir/scanner.cpp.o.d"
+  "CMakeFiles/mmtag_reader.dir/self_interference.cpp.o"
+  "CMakeFiles/mmtag_reader.dir/self_interference.cpp.o.d"
+  "CMakeFiles/mmtag_reader.dir/tracking.cpp.o"
+  "CMakeFiles/mmtag_reader.dir/tracking.cpp.o.d"
+  "libmmtag_reader.a"
+  "libmmtag_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtag_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

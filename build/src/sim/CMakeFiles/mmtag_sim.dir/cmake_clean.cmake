@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtag_sim.dir/ascii_plot.cpp.o"
+  "CMakeFiles/mmtag_sim.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/mmtag_sim.dir/link_sim.cpp.o"
+  "CMakeFiles/mmtag_sim.dir/link_sim.cpp.o.d"
+  "CMakeFiles/mmtag_sim.dir/scenario.cpp.o"
+  "CMakeFiles/mmtag_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/mmtag_sim.dir/sweep.cpp.o"
+  "CMakeFiles/mmtag_sim.dir/sweep.cpp.o.d"
+  "CMakeFiles/mmtag_sim.dir/table.cpp.o"
+  "CMakeFiles/mmtag_sim.dir/table.cpp.o.d"
+  "libmmtag_sim.a"
+  "libmmtag_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtag_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

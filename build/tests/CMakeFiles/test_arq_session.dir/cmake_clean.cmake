@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arq_session.dir/test_arq_session.cpp.o"
+  "CMakeFiles/test_arq_session.dir/test_arq_session.cpp.o.d"
+  "test_arq_session"
+  "test_arq_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arq_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

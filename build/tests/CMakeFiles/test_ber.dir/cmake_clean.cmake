@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ber.dir/test_ber.cpp.o"
+  "CMakeFiles/test_ber.dir/test_ber.cpp.o.d"
+  "test_ber"
+  "test_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codebook.dir/test_codebook.cpp.o"
+  "CMakeFiles/test_codebook.dir/test_codebook.cpp.o.d"
+  "test_codebook"
+  "test_codebook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codebook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detector_scanner.dir/test_detector_scanner.cpp.o"
+  "CMakeFiles/test_detector_scanner.dir/test_detector_scanner.cpp.o.d"
+  "test_detector_scanner"
+  "test_detector_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detector_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

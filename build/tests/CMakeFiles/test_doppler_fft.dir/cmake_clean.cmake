@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_doppler_fft.dir/test_doppler_fft.cpp.o"
+  "CMakeFiles/test_doppler_fft.dir/test_doppler_fft.cpp.o.d"
+  "test_doppler_fft"
+  "test_doppler_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_doppler_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fm0.dir/test_fm0.cpp.o"
+  "CMakeFiles/test_fm0.dir/test_fm0.cpp.o.d"
+  "test_fm0"
+  "test_fm0.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fm0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harvester.dir/test_harvester.cpp.o"
+  "CMakeFiles/test_harvester.dir/test_harvester.cpp.o.d"
+  "test_harvester"
+  "test_harvester.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harvester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_line_code.dir/test_line_code.cpp.o"
+  "CMakeFiles/test_line_code.dir/test_line_code.cpp.o.d"
+  "test_line_code"
+  "test_line_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_line_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_sim.dir/test_link_sim.cpp.o"
+  "CMakeFiles/test_link_sim.dir/test_link_sim.cpp.o.d"
+  "test_link_sim"
+  "test_link_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

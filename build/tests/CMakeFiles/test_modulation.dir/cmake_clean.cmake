@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modulation.dir/test_modulation.cpp.o"
+  "CMakeFiles/test_modulation.dir/test_modulation.cpp.o.d"
+  "test_modulation"
+  "test_modulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

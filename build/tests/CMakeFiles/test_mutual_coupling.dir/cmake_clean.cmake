@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mutual_coupling.dir/test_mutual_coupling.cpp.o"
+  "CMakeFiles/test_mutual_coupling.dir/test_mutual_coupling.cpp.o.d"
+  "test_mutual_coupling"
+  "test_mutual_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mutual_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ook.dir/test_ook.cpp.o"
+  "CMakeFiles/test_ook.dir/test_ook.cpp.o.d"
+  "test_ook"
+  "test_ook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_patch_element.dir/test_patch_element.cpp.o"
+  "CMakeFiles/test_patch_element.dir/test_patch_element.cpp.o.d"
+  "test_patch_element"
+  "test_patch_element.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_patch_element.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pathloss.dir/test_pathloss.cpp.o"
+  "CMakeFiles/test_pathloss.dir/test_pathloss.cpp.o.d"
+  "test_pathloss"
+  "test_pathloss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pathloss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

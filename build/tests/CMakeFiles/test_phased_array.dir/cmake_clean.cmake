@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phased_array.dir/test_phased_array.cpp.o"
+  "CMakeFiles/test_phased_array.dir/test_phased_array.cpp.o.d"
+  "test_phased_array"
+  "test_phased_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phased_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rate_adaptation.dir/test_rate_adaptation.cpp.o"
+  "CMakeFiles/test_rate_adaptation.dir/test_rate_adaptation.cpp.o.d"
+  "test_rate_adaptation"
+  "test_rate_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rate_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rate_table.dir/test_rate_table.cpp.o"
+  "CMakeFiles/test_rate_table.dir/test_rate_table.cpp.o.d"
+  "test_rate_table"
+  "test_rate_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rate_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

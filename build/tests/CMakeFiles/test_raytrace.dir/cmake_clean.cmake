@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raytrace.dir/test_raytrace.cpp.o"
+  "CMakeFiles/test_raytrace.dir/test_raytrace.cpp.o.d"
+  "test_raytrace"
+  "test_raytrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raytrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

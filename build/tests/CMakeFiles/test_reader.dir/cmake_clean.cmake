@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reader.dir/test_reader.cpp.o"
+  "CMakeFiles/test_reader.dir/test_reader.cpp.o.d"
+  "test_reader"
+  "test_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

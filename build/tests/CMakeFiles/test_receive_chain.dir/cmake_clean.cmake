@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_receive_chain.dir/test_receive_chain.cpp.o"
+  "CMakeFiles/test_receive_chain.dir/test_receive_chain.cpp.o.d"
+  "test_receive_chain"
+  "test_receive_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_receive_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

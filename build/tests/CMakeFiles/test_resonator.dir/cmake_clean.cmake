@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resonator.dir/test_resonator.cpp.o"
+  "CMakeFiles/test_resonator.dir/test_resonator.cpp.o.d"
+  "test_resonator"
+  "test_resonator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resonator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

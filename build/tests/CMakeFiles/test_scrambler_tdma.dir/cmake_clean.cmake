@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scrambler_tdma.dir/test_scrambler_tdma.cpp.o"
+  "CMakeFiles/test_scrambler_tdma.dir/test_scrambler_tdma.cpp.o.d"
+  "test_scrambler_tdma"
+  "test_scrambler_tdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scrambler_tdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

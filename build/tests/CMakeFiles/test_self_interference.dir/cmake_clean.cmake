@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_self_interference.dir/test_self_interference.cpp.o"
+  "CMakeFiles/test_self_interference.dir/test_self_interference.cpp.o.d"
+  "test_self_interference"
+  "test_self_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_self_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_switch_line.dir/test_switch_line.cpp.o"
+  "CMakeFiles/test_switch_line.dir/test_switch_line.cpp.o.d"
+  "test_switch_line"
+  "test_switch_line.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_switch_line.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_sweep.dir/test_table_sweep.cpp.o"
+  "CMakeFiles/test_table_sweep.dir/test_table_sweep.cpp.o.d"
+  "test_table_sweep"
+  "test_table_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

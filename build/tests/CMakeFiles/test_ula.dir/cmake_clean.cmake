@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ula.dir/test_ula.cpp.o"
+  "CMakeFiles/test_ula.dir/test_ula.cpp.o.d"
+  "test_ula"
+  "test_ula.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ula.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_van_atta.dir/test_van_atta.cpp.o"
+  "CMakeFiles/test_van_atta.dir/test_van_atta.cpp.o.d"
+  "test_van_atta"
+  "test_van_atta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_van_atta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

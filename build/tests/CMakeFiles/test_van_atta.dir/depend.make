@@ -1,0 +1,2 @@
+# Empty dependencies file for test_van_atta.
+# This may be replaced when dependencies are built.
