@@ -4,8 +4,13 @@
 //
 // Paper headline: 1 Gbps at 4 ft, 10 Mbps at 10 ft; 40 dB/decade slope;
 // floors near -76 / -86 / -96 dBm.
+//
+// Both the 21-point range sweep and the per-tier reach bisections run on
+// the parallel sweep engine (--threads N or MMTAG_THREADS).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "src/channel/environment.hpp"
 #include "src/core/tag.hpp"
@@ -15,17 +20,58 @@
 #include "src/phys/units.hpp"
 #include "src/reader/reader.hpp"
 #include "src/sim/ascii_plot.hpp"
+#include "src/sim/parallel.hpp"
 #include "src/sim/sweep.hpp"
 #include "src/sim/table.hpp"
 
+namespace {
+
+struct RangePoint {
+  double feet = 0.0;
+  double power_dbm = 0.0;
+  double depth_db = 0.0;
+  double rate_bps = 0.0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace mmtag;
-  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+  bool csv = false;
+  int threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    }
+  }
 
   const channel::Environment env;  // Free-space bench, like the paper's lab.
   const phy::RateTable rates = phy::RateTable::mmtag_standard();
   const core::MmTag tag = core::MmTag::prototype_at(core::Pose{{0, 0}, 0.0});
   const phys::NoiseModel noise = phys::NoiseModel::mmtag_reader();
+  sim::ThreadPool pool(threads);
+
+  const std::vector<double> feet_grid = sim::linspace(2.0, 12.0, 21);
+  sim::SweepStats stats;
+  const auto points = sim::parallel_sweep(
+      pool, feet_grid.size(),
+      [&](std::size_t i) {
+        RangePoint point;
+        point.feet = feet_grid[i];
+        const auto reader = reader::MmWaveReader::prototype_at(
+            core::Pose{{phys::feet_to_m(point.feet), 0.0}, phys::kPi});
+        const auto link = reader.evaluate_link(tag, env, rates);
+        point.power_dbm = link.received_power_dbm;
+        point.depth_db = link.modulation_depth_db;
+        point.rate_bps = link.achievable_rate_bps;
+        return point;
+      },
+      &stats);
+
+  const double floor_2ghz = noise.power_dbm(phys::ghz(2.0));
+  const double floor_200mhz = noise.power_dbm(phys::mhz(200.0));
+  const double floor_20mhz = noise.power_dbm(phys::mhz(20.0));
 
   sim::Table table({"range_ft", "tag_power_dbm", "floor_2ghz", "floor_200mhz",
                     "floor_20mhz", "mod_depth_db", "rate"});
@@ -34,29 +80,26 @@ int main(int argc, char** argv) {
   sim::Series floor2g{"floor 2GHz", {}, '2'};
   sim::Series floor200m{"floor 200MHz", {}, '1'};
   sim::Series floor20m{"floor 20MHz", {}, '0'};
-  for (const double feet : sim::linspace(2.0, 12.0, 21)) {
-    const double d = phys::feet_to_m(feet);
-    const auto reader = reader::MmWaveReader::prototype_at(
-        core::Pose{{d, 0.0}, phys::kPi});
-    const auto link = reader.evaluate_link(tag, env, rates);
-    table.add_row({sim::Table::fmt(feet, 1),
-                   sim::Table::fmt(link.received_power_dbm),
-                   sim::Table::fmt(noise.power_dbm(phys::ghz(2.0))),
-                   sim::Table::fmt(noise.power_dbm(phys::mhz(200.0))),
-                   sim::Table::fmt(noise.power_dbm(phys::mhz(20.0))),
-                   sim::Table::fmt(link.modulation_depth_db),
-                   sim::Table::fmt_rate(link.achievable_rate_bps)});
-    x_feet.push_back(feet);
-    tag_series.y.push_back(link.received_power_dbm);
-    floor2g.y.push_back(noise.power_dbm(phys::ghz(2.0)));
-    floor200m.y.push_back(noise.power_dbm(phys::mhz(200.0)));
-    floor20m.y.push_back(noise.power_dbm(phys::mhz(20.0)));
+  for (const RangePoint& point : points) {
+    table.add_row({sim::Table::fmt(point.feet, 1),
+                   sim::Table::fmt(point.power_dbm),
+                   sim::Table::fmt(floor_2ghz),
+                   sim::Table::fmt(floor_200mhz),
+                   sim::Table::fmt(floor_20mhz),
+                   sim::Table::fmt(point.depth_db),
+                   sim::Table::fmt_rate(point.rate_bps)});
+    x_feet.push_back(point.feet);
+    tag_series.y.push_back(point.power_dbm);
+    floor2g.y.push_back(floor_2ghz);
+    floor200m.y.push_back(floor_200mhz);
+    floor20m.y.push_back(floor_20mhz);
   }
   if (csv) {
     std::fputs(table.to_csv().c_str(), stdout);
     return 0;
   }
   table.print("Fig. 7 — tag signal power vs range, noise floors, rates");
+  sim::sweep_stats_table(stats).print("Fig. 7 range sweep throughput");
 
   sim::PlotOptions plot_options;
   plot_options.x_label = "range (ft)";
@@ -66,25 +109,32 @@ int main(int argc, char** argv) {
                           plot_options)
                           .c_str());
 
-  // The crossover ranges behind the figure's rate labels.
-  std::printf("\nRate-tier reach (two-way budget vs floor + 7 dB):\n");
+  // The crossover ranges behind the figure's rate labels: one bisection
+  // per tier, tiers sharded across the pool.
   const auto budget = phys::BackscatterLinkBudget::mmtag_prototype();
-  for (const phy::RateTier& tier : rates.tiers()) {
-    const double required = rates.required_power_dbm(tier);
-    // Use the circuit-model reader for consistency with the table above:
-    // bisect the rate boundary on the evaluated link.
-    double lo = 0.1, hi = 30.0;
-    for (int i = 0; i < 60; ++i) {
-      const double mid = (lo + hi) / 2.0;
-      const auto reader = reader::MmWaveReader::prototype_at(
-          core::Pose{{mid, 0.0}, phys::kPi});
-      const double p =
-          reader.evaluate_link(tag, env, rates).received_power_dbm;
-      (p >= required ? lo : hi) = mid;
-    }
+  const auto& tiers = rates.tiers();
+  const auto reaches = sim::parallel_sweep(
+      pool, tiers.size(), [&](std::size_t t) {
+        const double required = rates.required_power_dbm(tiers[t]);
+        // Use the circuit-model reader for consistency with the table
+        // above: bisect the rate boundary on the evaluated link.
+        double lo = 0.1, hi = 30.0;
+        for (int i = 0; i < 60; ++i) {
+          const double mid = (lo + hi) / 2.0;
+          const auto reader = reader::MmWaveReader::prototype_at(
+              core::Pose{{mid, 0.0}, phys::kPi});
+          const double p =
+              reader.evaluate_link(tag, env, rates).received_power_dbm;
+          (p >= required ? lo : hi) = mid;
+        }
+        return lo;
+      });
+  std::printf("\nRate-tier reach (two-way budget vs floor + 7 dB):\n");
+  for (std::size_t t = 0; t < tiers.size(); ++t) {
+    const double required = rates.required_power_dbm(tiers[t]);
     std::printf("  %-12s up to %5.1f ft  (scalar budget: %5.1f ft)\n",
-                sim::Table::fmt_rate(tier.bit_rate_bps).c_str(),
-                phys::m_to_feet(lo),
+                sim::Table::fmt_rate(tiers[t].bit_rate_bps).c_str(),
+                phys::m_to_feet(reaches[t]),
                 phys::m_to_feet(budget.max_range_m(required)));
   }
   std::printf("Paper: 1 Gbps at 4 ft, 10 Mbps at 10 ft.\n");

@@ -2,6 +2,10 @@
 // a downstream user pays per simulation step.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
 #include "src/antenna/ula.hpp"
 #include "src/channel/raytrace.hpp"
 #include "src/core/van_atta.hpp"
@@ -9,7 +13,10 @@
 #include "src/phy/ook.hpp"
 #include "src/phy/waveform.hpp"
 #include "src/phys/constants.hpp"
+#include "src/sim/link_sim.hpp"
+#include "src/sim/parallel.hpp"
 #include "src/sim/rng.hpp"
+#include "src/sim/sweep.hpp"
 
 namespace {
 
@@ -94,6 +101,41 @@ void BM_RayTraceOfficeRoom(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RayTraceOfficeRoom);
+
+void BM_ParallelBerSweep(benchmark::State& state) {
+  // The E4 hot path: a 13-point SNR grid through the waveform-level modem,
+  // sharded across a pool. Arg = thread count; the result is bit-identical
+  // across all of them (see test_parallel.cpp), only the wall time moves.
+  sim::ThreadPool pool(static_cast<int>(state.range(0)));
+  sim::MonteCarloLink::Params params;
+  params.min_bits = 4'000;
+  params.max_bits = 4'000;
+  const sim::MonteCarloLink link{params};
+  const std::vector<double> snrs = sim::linspace(0.0, 12.0, 13);
+  std::uint64_t bits = 0;
+  for (auto _ : state) {
+    const sim::BerSweepResult sweep = link.measure_ber_sweep(snrs, 99, pool);
+    bits += sweep.stats.units;
+    benchmark::DoNotOptimize(sweep.points.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(bits));
+}
+BENCHMARK(BM_ParallelBerSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_ThreadPoolDispatch(benchmark::State& state) {
+  // Pure pool overhead: an empty 64-item parallel_for, so sweep authors
+  // know the fixed cost a grid must amortise.
+  sim::ThreadPool pool(static_cast<int>(state.range(0)));
+  std::atomic<std::size_t> sink{0};
+  for (auto _ : state) {
+    pool.parallel_for(64, [&](std::size_t i) {
+      sink.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(4)->UseRealTime();
 
 void BM_FramedAloha(benchmark::State& state) {
   const int tags = static_cast<int>(state.range(0));

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# CI entry point: tier-1 verify in Release and Debug with warnings as
+# errors. Usage: ./ci.sh [extra ctest args...]
+set -eu
+
+for config in Release Debug; do
+  echo "=== ${config} build (-Wall -Wextra -Werror) ==="
+  build_dir="build-ci-$(echo "${config}" | tr '[:upper:]' '[:lower:]')"
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE="${config}" \
+    -DCMAKE_CXX_FLAGS="-Werror"
+  cmake --build "${build_dir}" -j
+  (cd "${build_dir}" && ctest --output-on-failure -j "$@")
+done
+
+echo "=== CI OK: Release and Debug clean under -Wall -Wextra -Werror ==="

@@ -14,6 +14,7 @@
 #include "src/phy/fft.hpp"
 #include "src/phys/constants.hpp"
 #include "src/phys/units.hpp"
+#include "src/sim/parallel.hpp"
 #include "src/sim/table.hpp"
 
 namespace {
@@ -37,63 +38,93 @@ class PanelVibration final : public mmtag::channel::Mobility {
 
 }  // namespace
 
+namespace {
+
+struct VibrationCase {
+  double amplitude_um;
+  double freq_hz;
+};
+
+struct VibrationReading {
+  double displacement_um = 0.0;
+  double measured_hz = 0.0;
+  double swing_rad = 0.0;
+  bool good = false;
+};
+
+}  // namespace
+
 int main() {
   using namespace mmtag;
 
+  const VibrationCase kCases[] = {
+      {250.0, 12.0}, {80.0, 30.0}, {25.0, 60.0}, {8.0, 120.0}};
+  constexpr std::size_t kCaseCount = sizeof(kCases) / sizeof(kCases[0]);
+
+  // Each vibration case is an independent simulation — shard them across
+  // the parallel sweep engine (MMTAG_THREADS controls the pool size).
+  sim::ThreadPool pool;
+  sim::SweepStats stats;
+  const auto readings = sim::parallel_sweep(
+      pool, kCaseCount,
+      [&](std::size_t c) {
+        const VibrationCase& test_case = kCases[c];
+        const PanelVibration panel(test_case.amplitude_um * 1e-6 / 2.0,
+                                   test_case.freq_hz);
+        const double sample_rate = 2000.0;
+        const auto phase = channel::backscatter_phase_series(
+            panel, {0.0, 0.0}, phys::kMmTagCarrierHz, /*duration_s=*/1.0,
+            sample_rate);
+
+        VibrationReading reading;
+        // Amplitude from the phase swing.
+        reading.displacement_um =
+            channel::displacement_from_phase_m(phase,
+                                               phys::kMmTagCarrierHz) *
+            1e6;
+
+        // Frequency from the phase spectrum (remove the dc/static range
+        // term).
+        double mean = 0.0;
+        for (const double p : phase) mean += p;
+        mean /= static_cast<double>(phase.size());
+        std::vector<phy::Complex> centered;
+        centered.reserve(phase.size());
+        for (const double p : phase) centered.emplace_back(p - mean, 0.0);
+        std::vector<double> freqs;
+        const auto spectrum =
+            phy::power_spectrum(centered, sample_rate, freqs);
+        std::size_t peak = 0;
+        for (std::size_t i = 0; i < spectrum.size(); ++i) {
+          if (freqs[i] > 1.0 && spectrum[i] > spectrum[peak]) peak = i;
+        }
+        reading.measured_hz = freqs[peak];
+
+        for (const double p : phase) {
+          reading.swing_rad = std::max(reading.swing_rad, std::abs(p - mean));
+        }
+        reading.good =
+            std::abs(reading.displacement_um - test_case.amplitude_um) <=
+                0.1 * test_case.amplitude_um &&
+            std::abs(reading.measured_hz - test_case.freq_hz) <= 2.5;
+        return reading;
+      },
+      &stats);
+
   sim::Table table({"truth_um_pp", "truth_hz", "measured_um_pp",
                     "measured_hz", "phase_swing_mrad"});
-  const struct {
-    double amplitude_um;
-    double freq_hz;
-  } kCases[] = {{250.0, 12.0}, {80.0, 30.0}, {25.0, 60.0}, {8.0, 120.0}};
-
   bool all_good = true;
-  for (const auto& test_case : kCases) {
-    const PanelVibration panel(test_case.amplitude_um * 1e-6 / 2.0,
-                               test_case.freq_hz);
-    const double sample_rate = 2000.0;
-    const auto phase = channel::backscatter_phase_series(
-        panel, {0.0, 0.0}, phys::kMmTagCarrierHz, /*duration_s=*/1.0,
-        sample_rate);
-
-    // Amplitude from the phase swing.
-    const double displacement_um =
-        channel::displacement_from_phase_m(phase, phys::kMmTagCarrierHz) *
-        1e6;
-
-    // Frequency from the phase spectrum (remove the dc/static range term).
-    double mean = 0.0;
-    for (const double p : phase) mean += p;
-    mean /= static_cast<double>(phase.size());
-    std::vector<phy::Complex> centered;
-    centered.reserve(phase.size());
-    for (const double p : phase) centered.emplace_back(p - mean, 0.0);
-    std::vector<double> freqs;
-    const auto spectrum = phy::power_spectrum(centered, sample_rate, freqs);
-    std::size_t peak = 0;
-    for (std::size_t i = 0; i < spectrum.size(); ++i) {
-      if (freqs[i] > 1.0 && spectrum[i] > spectrum[peak]) peak = i;
-    }
-    const double measured_hz = freqs[peak];
-
-    double swing = 0.0;
-    for (const double p : phase) {
-      swing = std::max(swing, std::abs(p - mean));
-    }
-
-    table.add_row({sim::Table::fmt(test_case.amplitude_um, 0),
-                   sim::Table::fmt(test_case.freq_hz, 0),
-                   sim::Table::fmt(displacement_um, 1),
-                   sim::Table::fmt(measured_hz, 1),
-                   sim::Table::fmt(2.0 * swing * 1e3, 2)});
-    if (std::abs(displacement_um - test_case.amplitude_um) >
-            0.1 * test_case.amplitude_um ||
-        std::abs(measured_hz - test_case.freq_hz) > 2.5) {
-      all_good = false;
-    }
+  for (std::size_t c = 0; c < kCaseCount; ++c) {
+    table.add_row({sim::Table::fmt(kCases[c].amplitude_um, 0),
+                   sim::Table::fmt(kCases[c].freq_hz, 0),
+                   sim::Table::fmt(readings[c].displacement_um, 1),
+                   sim::Table::fmt(readings[c].measured_hz, 1),
+                   sim::Table::fmt(2.0 * readings[c].swing_rad * 1e3, 2)});
+    if (!readings[c].good) all_good = false;
   }
   table.print("Vibration sensing via backscatter phase (tag at 1.5 m, "
               "24 GHz)");
+  sim::sweep_stats_table(stats).print("vibration case sweep throughput");
   std::printf(
       "\nEven an 8 um vibration swings the two-way phase by ~8 mrad — "
       "readable at the SNRs the data link already needs. The same tag "

@@ -61,8 +61,13 @@ std::vector<double> power_spectrum(std::span<const Complex> samples,
   // Hann window over the real sample span.
   const std::size_t m = samples.size();
   for (std::size_t i = 0; i < m; ++i) {
+    // The Hann taper is zero at both endpoints, so for m <= 2 every
+    // sample is an endpoint and the window would erase the signal; fall
+    // back to a rectangular window there to keep the energy.
     const double window =
-        0.5 * (1.0 - std::cos(phys::kTwoPi * i / (m > 1 ? m - 1 : 1)));
+        m <= 2 ? 1.0
+               : 0.5 * (1.0 - std::cos(phys::kTwoPi * i /
+                                       static_cast<double>(m - 1)));
     padded[i] = samples[i] * window;
   }
   fft(padded);
@@ -113,16 +118,19 @@ double occupied_bandwidth_hz(std::span<const double> spectrum,
     }
   }
   double acc = spectrum[center];
+  std::size_t bins_added = 1;
   std::size_t radius = 0;
   while (acc < fraction * total) {
     ++radius;
     bool grew = false;
     if (center >= radius) {
       acc += spectrum[center - radius];
+      ++bins_added;
       grew = true;
     }
     if (center + radius < spectrum.size()) {
       acc += spectrum[center + radius];
+      ++bins_added;
       grew = true;
     }
     if (!grew) break;
@@ -130,7 +138,10 @@ double occupied_bandwidth_hz(std::span<const double> spectrum,
   const double bin_hz = frequencies_hz.size() > 1
                             ? frequencies_hz[1] - frequencies_hz[0]
                             : 0.0;
-  return (2.0 * static_cast<double>(radius) + 1.0) * bin_hz;
+  // Count the bins actually accumulated: when the window clips at a
+  // spectrum edge only one side grows per step, and 2*radius+1 would
+  // overestimate the bandwidth.
+  return static_cast<double>(bins_added) * bin_hz;
 }
 
 }  // namespace mmtag::phy

@@ -14,7 +14,7 @@ std::string ascii_plot(std::span<const double> x,
                        const PlotOptions& options) {
   assert(!x.empty());
   assert(!series.empty());
-  for (const Series& s : series) {
+  for ([[maybe_unused]] const Series& s : series) {
     assert(s.y.size() == x.size() && "series length must match x");
   }
   assert(options.width >= 8 && options.height >= 4);

@@ -1,6 +1,7 @@
 #include "src/sim/link_sim.hpp"
 
 #include <cassert>
+#include <numeric>
 
 #include "src/phy/frame.hpp"
 #include "src/phy/waveform.hpp"
@@ -12,15 +13,29 @@ MonteCarloLink::MonteCarloLink(Params params) : params_(params) {
   assert(params_.block_bits >= 2);
 }
 
+std::size_t MonteCarloLink::effective_max_bits() const {
+  const std::size_t cap =
+      params_.max_bits > 0 ? params_.max_bits : 10 * params_.min_bits;
+  // The cap can never cut a measurement below min_bits' first block.
+  return cap < params_.block_bits ? params_.block_bits : cap;
+}
+
 BerMeasurement MonteCarloLink::measure_ber(double snr_db,
                                            std::mt19937_64& rng) const {
   const phy::OokModulator mod(params_.samples_per_symbol,
                               params_.modulation_depth_db);
   const phy::OokDemodulator demod(params_.samples_per_symbol);
   std::bernoulli_distribution coin(0.5);
+  const std::size_t max_bits = effective_max_bits();
 
   BerMeasurement measurement;
-  while (measurement.bits_sent < params_.min_bits) {
+  // Adaptive termination: run until BOTH min_bits and target_bit_errors
+  // are satisfied (whichever happens later), bounded by max_bits. Noisy
+  // points stop at min_bits; nearly-clean points keep sampling until the
+  // error count is statistically meaningful or the cap is hit.
+  while (measurement.bits_sent < max_bits &&
+         (measurement.bits_sent < params_.min_bits ||
+          measurement.bit_errors < params_.target_bit_errors)) {
     phy::BitVector bits(params_.block_bits);
     for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = coin(rng);
 
@@ -43,9 +58,15 @@ BerMeasurement MonteCarloLink::measure_ber(double snr_db,
   return measurement;
 }
 
-double MonteCarloLink::measure_fer(double snr_db, int frames,
-                                   std::size_t payload_bits,
-                                   std::mt19937_64& rng) const {
+BerMeasurement MonteCarloLink::measure_ber_point(double snr_db,
+                                                 std::uint64_t seed) const {
+  std::mt19937_64 rng = make_rng(seed);
+  return measure_ber(snr_db, rng);
+}
+
+FerMeasurement MonteCarloLink::run_fer(double snr_db, int frames,
+                                       std::size_t payload_bits,
+                                       std::mt19937_64& rng) const {
   assert(frames >= 1);
   const reader::ReceiveChain chain(
       reader::ReceiveChain::Params{params_.samples_per_symbol, true});
@@ -69,7 +90,65 @@ double MonteCarloLink::measure_fer(double snr_db, int frames,
     const reader::ReceiveResult result = chain.receive(wave);
     if (!result.frame.has_value() || !(*result.frame == frame)) ++failures;
   }
-  return static_cast<double>(failures) / static_cast<double>(frames);
+  return FerMeasurement{frames, failures};
+}
+
+double MonteCarloLink::measure_fer(double snr_db, int frames,
+                                   std::size_t payload_bits,
+                                   std::mt19937_64& rng) const {
+  return run_fer(snr_db, frames, payload_bits, rng).fer();
+}
+
+FerMeasurement MonteCarloLink::measure_fer_point(double snr_db, int frames,
+                                                 std::size_t payload_bits,
+                                                 std::uint64_t seed) const {
+  std::mt19937_64 rng = make_rng(seed);
+  return run_fer(snr_db, frames, payload_bits, rng);
+}
+
+BerSweepResult MonteCarloLink::measure_ber_sweep(
+    std::span<const double> snr_db, std::uint64_t base_seed,
+    ThreadPool& pool) const {
+  BerSweepResult result;
+  result.points = parallel_monte_carlo(
+      pool, snr_db.size(), base_seed,
+      [&](std::mt19937_64& rng, std::size_t i) {
+        return measure_ber(snr_db[i], rng);
+      },
+      &result.stats);
+  result.stats.units = std::accumulate(
+      result.points.begin(), result.points.end(), std::uint64_t{0},
+      [](std::uint64_t acc, const BerMeasurement& m) {
+        return acc + m.bits_sent;
+      });
+  return result;
+}
+
+BerSweepResult MonteCarloLink::measure_ber_sweep(
+    std::span<const double> snr_db, std::uint64_t base_seed) const {
+  ThreadPool pool;
+  return measure_ber_sweep(snr_db, base_seed, pool);
+}
+
+FerSweepResult MonteCarloLink::measure_fer_sweep(
+    std::span<const double> snr_db, int frames, std::size_t payload_bits,
+    std::uint64_t base_seed, ThreadPool& pool) const {
+  FerSweepResult result;
+  result.points = parallel_monte_carlo(
+      pool, snr_db.size(), base_seed,
+      [&](std::mt19937_64& rng, std::size_t i) {
+        return run_fer(snr_db[i], frames, payload_bits, rng);
+      },
+      &result.stats);
+  result.stats.units = static_cast<std::uint64_t>(frames) * snr_db.size();
+  return result;
+}
+
+FerSweepResult MonteCarloLink::measure_fer_sweep(
+    std::span<const double> snr_db, int frames, std::size_t payload_bits,
+    std::uint64_t base_seed) const {
+  ThreadPool pool;
+  return measure_fer_sweep(snr_db, frames, payload_bits, base_seed, pool);
 }
 
 }  // namespace mmtag::sim

@@ -1,0 +1,112 @@
+#include "src/sim/parallel.hpp"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace mmtag::sim {
+
+int default_thread_count() {
+  if (const char* env = std::getenv("MMTAG_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = default_thread_count();
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 1; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::drain_items() {
+  while (true) {
+    std::size_t index;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (next_ >= count_) return;
+      index = next_++;
+    }
+    (*body_)(index);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    drain_items();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--running_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count, const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  body_ = &body;
+  count_ = count;
+  next_ = 0;
+  if (workers_.empty()) {
+    // Single-threaded pool: run inline, no synchronisation.
+    drain_items();
+    body_ = nullptr;
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    running_workers_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain_items();
+  {
+    // parallel_for does not return until every worker has both observed
+    // this generation and finished draining, so generations can never be
+    // skipped and the job state can be reused safely.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return running_workers_ == 0; });
+  }
+  body_ = nullptr;
+}
+
+Table sweep_stats_table(const SweepStats& stats,
+                        const std::string& unit_name) {
+  std::vector<std::string> headers = {"threads", "points", "wall_ms",
+                                      "points_per_s"};
+  std::vector<std::string> row = {
+      std::to_string(stats.threads), std::to_string(stats.points),
+      Table::fmt(stats.wall_s * 1e3, 1), Table::fmt_si(stats.points_per_s())};
+  if (!unit_name.empty()) {
+    headers.push_back(unit_name);
+    headers.push_back(unit_name + "_per_s");
+    row.push_back(Table::fmt_si(static_cast<double>(stats.units)));
+    row.push_back(Table::fmt_si(stats.units_per_s()));
+  }
+  Table table(std::move(headers));
+  table.add_row(std::move(row));
+  return table;
+}
+
+}  // namespace mmtag::sim

@@ -37,7 +37,7 @@ std::string Table::fmt_si(double value, int precision) {
     const char* suffix;
   } kUnits[] = {{1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
                 {1.0, ""},   {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"},
-                {1e-12, "p"}, {1e-15, "f"}};
+                {1e-12, "p"}, {1e-15, "f"}, {1e-18, "a"}};
   const double magnitude = std::abs(value);
   if (magnitude == 0.0) return fmt(0.0, precision);
   for (const auto& unit : kUnits) {
@@ -45,7 +45,11 @@ std::string Table::fmt_si(double value, int precision) {
       return fmt(value / unit.scale, precision) + unit.suffix;
     }
   }
-  return fmt(value / 1e-15, precision) + "f";
+  // Below the smallest suffix: scientific notation rather than a value
+  // that rounds to zero at the default precision.
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*e", precision, value);
+  return buffer;
 }
 
 std::string Table::to_string() const {

@@ -140,6 +140,54 @@ TEST(Spectrum, ShapedOokBandwidthMatchesPulseTheory) {
   EXPECT_NEAR(measured, predicted, 0.35 * predicted);
 }
 
+TEST(Spectrum, SingleSampleKeepsEnergy) {
+  // Regression: the Hann window is zero at its endpoints, so a one-sample
+  // input used to be erased and come back as an all-zero spectrum.
+  const std::vector<phy::Complex> one{phy::Complex(2.0, -1.0)};
+  std::vector<double> freqs;
+  const auto spectrum = phy::power_spectrum(one, 100.0, freqs);
+  ASSERT_EQ(spectrum.size(), 1u);
+  EXPECT_DOUBLE_EQ(spectrum[0], 1.0);  // Peak-normalized, but non-zero.
+}
+
+TEST(Spectrum, TwoSamplesKeepEnergy) {
+  // Same endpoint hazard at m == 2: both samples sit on Hann nulls.
+  const std::vector<phy::Complex> two{phy::Complex(1.0, 0.0),
+                                      phy::Complex(1.0, 0.0)};
+  std::vector<double> freqs;
+  const auto spectrum = phy::power_spectrum(two, 10.0, freqs);
+  double total = 0.0;
+  for (const double s : spectrum) total += s;
+  EXPECT_GT(total, 0.0);
+  // A constant pair is pure DC: the 0 Hz bin must carry the peak.
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < spectrum.size(); ++i) {
+    if (spectrum[i] > spectrum[peak]) peak = i;
+  }
+  EXPECT_DOUBLE_EQ(freqs[peak], 0.0);
+}
+
+TEST(Spectrum, OccupiedBandwidthClippedAtEdgeCountsRealBins) {
+  // Regression: a window clipped at the spectrum edge only accumulates on
+  // one side, but the old 2*radius+1 formula billed both — reporting more
+  // bandwidth than the whole array spans.
+  const std::vector<double> spectrum = {1.0, 0.05, 0.05, 0.05};
+  const std::vector<double> freqs = {-2.0, -1.0, 0.0, 1.0};
+  const double obw = phy::occupied_bandwidth_hz(spectrum, freqs, 0.99);
+  // All four bins accumulated, 1 Hz apart: 4 Hz, and never more than the
+  // array's 4 Hz span (the old formula returned 7 Hz here).
+  EXPECT_DOUBLE_EQ(obw, 4.0);
+}
+
+TEST(Spectrum, OccupiedBandwidthInteriorUnchangedByEdgeFix) {
+  // An interior window grows both sides per step, where bins_added ==
+  // 2*radius+1: the fix must not change this case.
+  const std::vector<double> spectrum = {0.01, 0.1, 1.0, 0.1, 0.01};
+  const std::vector<double> freqs = {-2.0, -1.0, 0.0, 1.0, 2.0};
+  const double obw = phy::occupied_bandwidth_hz(spectrum, freqs, 0.95);
+  EXPECT_DOUBLE_EQ(obw, 3.0);  // Centre bin + one on each side.
+}
+
 TEST(Spectrum, SquareOokIsWiderThanShaped) {
   auto rng = sim::make_rng(214);
   std::bernoulli_distribution coin(0.5);

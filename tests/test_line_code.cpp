@@ -61,8 +61,10 @@ TEST(ManchesterLenient, OddTailCountsAsViolation) {
 TEST(ManchesterLenient, CleanInputHasNoViolations) {
   std::size_t violations = 123;
   const BitVector source{true, false, true};
-  manchester_decode_lenient(manchester_encode(source), violations);
+  const BitVector decoded =
+      manchester_decode_lenient(manchester_encode(source), violations);
   EXPECT_EQ(violations, 0u);
+  EXPECT_EQ(decoded, source);
 }
 
 }  // namespace

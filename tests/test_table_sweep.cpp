@@ -67,5 +67,16 @@ TEST(TableFmt, SiPrefixes) {
   EXPECT_EQ(Table::fmt_si(0.0, 1), "0.0");
 }
 
+TEST(TableFmt, SiTinyMagnitudesKeepTheirValue) {
+  // Regression: magnitudes below 1e-15 used to fall through to the femto
+  // branch and print as 0.00f at default precision.
+  EXPECT_EQ(Table::fmt_si(3e-17, 1), "30.0a");
+  EXPECT_EQ(Table::fmt_si(1.5e-18, 2), "1.50a");
+  EXPECT_EQ(Table::fmt_si(-4e-18, 1), "-4.0a");
+  // Below atto: scientific notation, never a silent zero.
+  EXPECT_EQ(Table::fmt_si(5e-20, 2), "5.00e-20");
+  EXPECT_NE(Table::fmt_si(1e-21, 2).find("e-21"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mmtag::sim
