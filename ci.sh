@@ -13,4 +13,13 @@ for config in Release Debug; do
   (cd "${build_dir}" && ctest --output-on-failure -j "$@")
 done
 
-echo "=== CI OK: Release and Debug clean under -Wall -Wextra -Werror ==="
+echo "=== ASan+UBSan build (test suite only) ==="
+build_dir="build-ci-asan"
+cmake -B "${build_dir}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build "${build_dir}" -j --target mmtag_tests
+(cd "${build_dir}" && ctest --output-on-failure -j "$@")
+
+echo "=== CI OK: Release + Debug (-Werror) and ASan+UBSan clean ==="

@@ -7,10 +7,13 @@
 // That grid is 42 independent Monte-Carlo simulations — exactly the
 // workload the parallel sweep engine shards across cores. Each cell gets
 // its own deterministic RNG stream (seed = hash(base_seed, cell index)),
-// so the map is bit-identical no matter how many threads build it
-// (MMTAG_THREADS or hardware concurrency).
+// so the map is bit-identical no matter how many threads build it.
+//
+// Flags: --threads N (worker threads), --seed S (Monte-Carlo base seed).
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -36,8 +39,17 @@ struct Cell {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mmtag;
+
+  int threads = 0;  // 0 = MMTAG_THREADS / hardware concurrency.
+  std::uint64_t base_seed = 2024;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = std::atoi(argv[++i]);
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+      base_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+  }
 
   const channel::Environment env;
   const phy::RateTable rates = phy::RateTable::mmtag_standard();
@@ -53,11 +65,11 @@ int main() {
   params.max_bits = 8'000;
   const sim::MonteCarloLink link_sim{params};
 
-  sim::ThreadPool pool;
+  sim::ThreadPool pool(threads);
   sim::SweepStats stats;
   const std::size_t cells = feet.size() * degrees.size();
   const auto grid = sim::parallel_monte_carlo(
-      pool, cells, /*base_seed=*/2024,
+      pool, cells, base_seed,
       [&](std::mt19937_64& rng, std::size_t index) {
         const double d = phys::feet_to_m(feet[index / degrees.size()]);
         const double bearing =

@@ -1,0 +1,195 @@
+#include "src/deploy/cell.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "src/channel/geometry.hpp"
+#include "src/mac/event_queue.hpp"
+#include "src/phy/frame.hpp"
+#include "src/phys/units.hpp"
+#include "src/reader/interference.hpp"
+
+namespace mmtag::deploy {
+
+ReaderCell::ReaderCell(int index, reader::MmWaveReader reader,
+                       const channel::Environment* env,
+                       const phy::RateTable* rates, CellConfig config,
+                       bool use_cache)
+    : index_(index),
+      rates_(rates),
+      config_(config),
+      cache_(std::move(reader), env, rates, use_cache) {
+  const double facing = cache_.reader().pose().orientation_rad;
+  codebook_ = antenna::uniform_codebook(
+      facing - config_.sector_half_angle_rad,
+      facing + config_.sector_half_angle_rad, config_.beamwidth_deg);
+}
+
+CellEpochResult ReaderCell::run_epoch(
+    const std::vector<core::MmTag>& tags,
+    const std::vector<std::size_t>& tag_indices, const CellPlan& plan,
+    double start_s, double duration_s, std::mt19937_64& rng) {
+  CellEpochResult result;
+  result.cell_index = index_;
+  result.tags_assigned = static_cast<int>(tag_indices.size());
+  result.service.resize(tag_indices.size());
+
+  const double budget_s = duration_s * plan.airtime_share;
+  assert(budget_s > 0.0);
+
+  // --- Beam assignment over cached link budgets -------------------------
+  // Each tag goes to the nearest-boresight beam; its rate is the cached
+  // link budget degraded by the coordinator's interference load.
+  const std::size_t n = tag_indices.size();
+  std::vector<int> tag_beam(n, -1);
+  std::vector<std::vector<std::size_t>> beam_members(codebook_.size());
+  std::vector<double> beam_rate(codebook_.size(),
+                                std::numeric_limits<double>::infinity());
+  for (std::size_t k = 0; k < n; ++k) {
+    const core::MmTag& tag = tags[tag_indices[k]];
+    result.service[k].tag_id = tag.id();
+    const double bearing = channel::bearing_rad(
+        cache_.reader().pose().position, tag.pose().position);
+    int best = -1;
+    double best_offset = std::numeric_limits<double>::infinity();
+    for (std::size_t b = 0; b < codebook_.size(); ++b) {
+      const double offset = std::abs(
+          phys::wrap_angle_rad(codebook_[b].boresight_rad - bearing));
+      if (offset < best_offset) {
+        best_offset = offset;
+        best = static_cast<int>(b);
+      }
+    }
+    if (best < 0) continue;
+    const reader::LinkReport& link =
+        cache_.link(tag, best, codebook_[static_cast<std::size_t>(best)]
+                                   .boresight_rad);
+    const double rate = reader::sinr_limited_rate_bps(
+        link.received_power_dbm, plan.interference_dbm, *rates_);
+    if (rate <= 0.0) continue;
+    tag_beam[k] = best;
+    beam_members[static_cast<std::size_t>(best)].push_back(k);
+    auto& slowest = beam_rate[static_cast<std::size_t>(best)];
+    slowest = std::min(slowest, rate);
+  }
+
+  // --- Discovery + polling on the event queue ---------------------------
+  // Airtime is tracked in "on-air seconds"; under TDM the cell only holds
+  // the channel an airtime_share of the wall clock, so an airtime instant t
+  // maps to absolute fleet time start_s + t / airtime_share.
+  const double frame_bits = 2.0 *  // Manchester.
+      static_cast<double>(phy::TagFrame::frame_bits(config_.payload_bits));
+  const double poll_bits =
+      frame_bits + 2.0 * static_cast<double>(config_.poll_overhead_bits);
+
+  mac::EventQueue queue;
+  std::vector<std::size_t> discovered;  // Local ks, in read order.
+  std::size_t beams_scanned = 0;
+  std::size_t poll_cursor = 0;
+  std::size_t dead_polls = 0;  // Consecutive skips; all-dead ends the epoch.
+  int poll_beam = -1;
+  std::bernoulli_distribution poll_success(
+      config_.aloha.slot_success_probability);
+
+  std::function<void()> run_polling = [&] {
+    if (discovered.empty()) return;
+    const std::size_t k = discovered[poll_cursor % discovered.size()];
+    ++poll_cursor;
+    // Every poll re-checks the link budget (the tag may have moved since
+    // discovery) — this is the fleet hot loop the LinkCache exists for:
+    // static geometry answers from cache, moved tags re-trace.
+    const auto beam = static_cast<std::size_t>(tag_beam[k]);
+    const reader::LinkReport& link = cache_.link(
+        tags[tag_indices[k]], tag_beam[k], codebook_[beam].boresight_rad);
+    const double rate = reader::sinr_limited_rate_bps(
+        link.received_power_dbm, plan.interference_dbm, *rates_);
+    if (rate <= 0.0) {  // Link lost since discovery: skip this tag.
+      if (++dead_polls < discovered.size()) {
+        queue.schedule_in(0.0, run_polling);
+      }
+      return;
+    }
+    dead_polls = 0;
+    double cost_s = poll_bits / rate;
+    if (tag_beam[k] != poll_beam) {
+      cost_s += config_.beam_switch_overhead_s;
+      poll_beam = tag_beam[k];
+    }
+    if (queue.now() + cost_s > budget_s) return;  // Epoch airtime spent.
+    TagService& service = result.service[k];
+    ++service.polls;
+    if (poll_success(rng)) {
+      service.delivered_bits += static_cast<double>(config_.payload_bits);
+    }
+    queue.schedule_in(cost_s, run_polling);
+  };
+
+  const auto start_polling = [&] {
+    // Visit discovered tags sorted by beam to minimise switches.
+    std::sort(discovered.begin(), discovered.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (tag_beam[a] != tag_beam[b])
+                  return tag_beam[a] < tag_beam[b];
+                return a < b;
+              });
+    run_polling();
+  };
+
+  std::function<void()> run_discovery = [&] {
+    // Resume the sector scan at the persistent cursor; empty beams cost
+    // nothing (no tag responds, the reader moves straight on — same
+    // convention as SdmInventory).
+    while (beams_scanned < codebook_.size() &&
+           beam_members[scan_cursor_].empty()) {
+      scan_cursor_ = (scan_cursor_ + 1) % codebook_.size();
+      ++beams_scanned;
+    }
+    if (beams_scanned >= codebook_.size()) {
+      start_polling();  // Scan complete: serve tags for the rest.
+      return;
+    }
+    const std::size_t b = scan_cursor_;
+    std::vector<std::size_t>& members = beam_members[b];
+    const double slot_s = frame_bits / beam_rate[b];
+    const mac::AlohaStats aloha = run_framed_aloha(
+        static_cast<int>(members.size()), config_.aloha, rng);
+    const double dwell_s =
+        config_.beam_switch_overhead_s +
+        static_cast<double>(aloha.slots_total) * slot_s;
+    if (queue.now() + dwell_s > budget_s) {
+      // Out of airtime mid-scan: the cursor stays on this beam so the next
+      // epoch picks up exactly here instead of starving the sector tail.
+      start_polling();
+      return;
+    }
+    scan_cursor_ = (b + 1) % codebook_.size();
+    ++beams_scanned;
+    // Aloha resolves a uniform-random subset of the contenders; pick it
+    // from the cell's stream so the outcome is reproducible.
+    std::shuffle(members.begin(), members.end(), rng);
+    const double read_at_s = queue.now() + dwell_s;
+    for (int i = 0; i < aloha.tags_read &&
+                    i < static_cast<int>(members.size());
+         ++i) {
+      const std::size_t k = members[static_cast<std::size_t>(i)];
+      TagService& service = result.service[k];
+      service.read = true;
+      service.first_read_s = start_s + read_at_s / plan.airtime_share;
+      discovered.push_back(k);
+    }
+    queue.schedule_in(dwell_s, run_discovery);
+  };
+
+  queue.schedule(0.0, run_discovery);
+  queue.run();
+
+  result.tags_discovered = static_cast<int>(discovered.size());
+  result.airtime_s = std::min(queue.now(), budget_s);
+  result.utilization = budget_s > 0.0 ? result.airtime_s / budget_s : 0.0;
+  return result;
+}
+
+}  // namespace mmtag::deploy

@@ -1,0 +1,109 @@
+#include "src/deploy/coordinator.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/channel/geometry.hpp"
+#include "src/phys/units.hpp"
+#include "src/reader/interference.hpp"
+
+namespace mmtag::deploy {
+
+FleetCoordinator::FleetCoordinator(CoordinatorConfig config)
+    : config_(config) {
+  assert(config_.channels > 0);
+}
+
+std::vector<CellPlan> FleetCoordinator::plan(
+    const std::vector<reader::MmWaveReader>& readers,
+    const channel::Environment& env) const {
+  const std::size_t m = readers.size();
+  std::vector<CellPlan> plans(m);
+  if (m == 0) return plans;
+
+  if (config_.policy == CoordinationPolicy::kTdm) {
+    for (std::size_t v = 0; v < m; ++v) {
+      plans[v].airtime_share = 1.0 / static_cast<double>(m);
+      plans[v].interference_dbm = -300.0;
+      plans[v].channel = 0;
+    }
+    return plans;
+  }
+
+  for (std::size_t v = 0; v < m; ++v) {
+    plans[v].channel =
+        config_.policy == CoordinationPolicy::kChannelized
+            ? static_cast<int>(v) % config_.channels
+            : 0;
+  }
+  for (std::size_t v = 0; v < m; ++v) {
+    double load_w = 0.0;
+    for (std::size_t a = 0; a < m; ++a) {
+      if (a == v) continue;
+      double carrier_dbm = reader::cross_reader_interference_dbm(
+          readers[a], readers[v], env);
+      if (plans[a].channel != plans[v].channel) {
+        carrier_dbm -= config_.adjacent_channel_rejection_db;
+      }
+      // The aggressor's own tags answer on the aggressor's channel too;
+      // their backscatter arrives tag_response_excess_loss_db below the
+      // carrier over (approximately) the same paths.
+      const double tag_echo_dbm =
+          carrier_dbm - config_.tag_response_excess_loss_db;
+      load_w += phys::dbm_to_watts(carrier_dbm) +
+                phys::dbm_to_watts(tag_echo_dbm);
+    }
+    plans[v].airtime_share = 1.0;
+    plans[v].interference_dbm =
+        load_w > 0.0 ? phys::watts_to_dbm(load_w) : -300.0;
+  }
+  return plans;
+}
+
+std::vector<int> FleetCoordinator::initial_assignment(
+    const std::vector<core::MmTag>& tags,
+    const std::vector<reader::MmWaveReader>& readers) {
+  std::vector<int> tag_cell(tags.size(), 0);
+  (void)reassign(tags, readers, tag_cell);
+  return tag_cell;
+}
+
+int FleetCoordinator::reassign(const std::vector<core::MmTag>& tags,
+                               const std::vector<reader::MmWaveReader>& readers,
+                               std::vector<int>& tag_cell) {
+  assert(!readers.empty());
+  assert(tag_cell.size() == tags.size());
+  int handoffs = 0;
+  for (std::size_t t = 0; t < tags.size(); ++t) {
+    const channel::Vec2 pos = tags[t].pose().position;
+    int best = 0;
+    double best_d =
+        channel::distance(readers[0].pose().position, pos);
+    for (std::size_t r = 1; r < readers.size(); ++r) {
+      const double d =
+          channel::distance(readers[r].pose().position, pos);
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<int>(r);
+      }
+    }
+    if (tag_cell[t] != best) {
+      tag_cell[t] = best;
+      ++handoffs;
+    }
+  }
+  return handoffs;
+}
+
+std::vector<std::vector<std::size_t>> FleetCoordinator::rosters(
+    const std::vector<int>& tag_cell, std::size_t cells) {
+  std::vector<std::vector<std::size_t>> rosters(cells);
+  for (std::size_t t = 0; t < tag_cell.size(); ++t) {
+    const auto c = static_cast<std::size_t>(tag_cell[t]);
+    assert(c < cells);
+    rosters[c].push_back(t);
+  }
+  return rosters;
+}
+
+}  // namespace mmtag::deploy

@@ -1,0 +1,143 @@
+#include "src/deploy/fleet.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <random>
+
+#include "src/channel/geometry.hpp"
+#include "src/phys/constants.hpp"
+#include "src/sim/rng.hpp"
+
+namespace mmtag::deploy {
+
+FleetSimulator::FleetSimulator(FleetConfig config)
+    : config_(std::move(config)) {
+  assert(config_.epochs > 0 && config_.epoch_duration_s > 0.0);
+}
+
+FleetResult FleetSimulator::run() {
+  FleetLayout layout = make_layout(config_.layout);
+  const phy::RateTable rates = phy::RateTable::mmtag_standard();
+  const std::size_t m = layout.reader_poses.size();
+  const std::size_t n = layout.tags.size();
+
+  std::vector<reader::MmWaveReader> readers;
+  readers.reserve(m);
+  std::vector<ReaderCell> cells;
+  cells.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    readers.push_back(
+        reader::MmWaveReader::prototype_at(layout.reader_poses[i]));
+    cells.emplace_back(static_cast<int>(i), readers.back(),
+                       &layout.environment, &rates, config_.cell,
+                       config_.use_link_cache);
+  }
+
+  const FleetCoordinator coordinator(config_.coordination);
+  // Readers are static, so the spectrum/airtime plan holds for the whole
+  // run; membership is re-evaluated after every mobility step.
+  const std::vector<CellPlan> plans =
+      coordinator.plan(readers, layout.environment);
+  std::vector<int> tag_cell =
+      FleetCoordinator::initial_assignment(layout.tags, readers);
+
+  // Disjoint stream families per concern, all rooted at config_.seed.
+  const std::uint64_t cell_base = sim::derive_seed(config_.seed, 0x63656C6C);
+  const std::uint64_t move_base = sim::derive_seed(config_.seed, 0x6D6F7665);
+
+  std::vector<TagService> merged(n);
+  std::vector<CellEpochResult> epoch_results(m);
+  int handoffs = 0;
+  double utilization_sum = 0.0;
+  std::uint64_t reads_total = 0;
+
+  sim::ThreadPool pool(config_.threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int e = 0; e < config_.epochs; ++e) {
+    const std::vector<std::vector<std::size_t>> rosters =
+        FleetCoordinator::rosters(tag_cell, m);
+    const double start_s = e * config_.epoch_duration_s;
+    pool.parallel_for(m, [&](std::size_t c) {
+      // Cell-private stream: scheduling order can never leak into results.
+      std::mt19937_64 rng = sim::make_rng(sim::derive_seed(
+          cell_base, static_cast<std::uint64_t>(e) * m + c));
+      epoch_results[c] =
+          cells[c].run_epoch(layout.tags, rosters[c], plans[c], start_s,
+                             config_.epoch_duration_s, rng);
+    });
+
+    // Merge in (cell, roster) order — fixed regardless of which worker
+    // finished first.
+    for (std::size_t c = 0; c < m; ++c) {
+      const CellEpochResult& cell = epoch_results[c];
+      for (std::size_t k = 0; k < rosters[c].size(); ++k) {
+        const TagService& seen = cell.service[k];
+        TagService& tag = merged[rosters[c][k]];
+        tag.tag_id = seen.tag_id;
+        tag.delivered_bits += seen.delivered_bits;
+        tag.polls += seen.polls;
+        if (seen.read) {
+          tag.read = true;
+          tag.first_read_s = std::min(tag.first_read_s, seen.first_read_s);
+        }
+      }
+      utilization_sum += cell.airtime_s / config_.epoch_duration_s;
+      reads_total += static_cast<std::uint64_t>(cell.tags_discovered);
+    }
+
+    if (e + 1 < config_.epochs && config_.mobile_fraction > 0.0) {
+      const auto movers = static_cast<std::size_t>(
+          std::floor(config_.mobile_fraction * static_cast<double>(n)));
+      const double step_m =
+          config_.mobile_speed_mps * config_.epoch_duration_s;
+      const double margin = config_.layout.margin_m;
+      for (std::size_t t = 0; t < movers && t < n; ++t) {
+        std::mt19937_64 rng = sim::make_rng(sim::derive_seed(
+            move_base, static_cast<std::uint64_t>(e) * n + t));
+        std::uniform_real_distribution<double> heading(0.0, phys::kTwoPi);
+        const double dir = heading(rng);
+        channel::Vec2 pos = layout.tags[t].pose().position;
+        pos.x = std::clamp(pos.x + step_m * std::cos(dir), margin,
+                           config_.layout.width_m - margin);
+        pos.y = std::clamp(pos.y + step_m * std::sin(dir), margin,
+                           config_.layout.height_m - margin);
+        const std::size_t owner = nearest_reader(layout.reader_poses, pos);
+        layout.tags[t].set_pose(core::Pose{
+            pos, channel::bearing_rad(
+                     pos, layout.reader_poses[owner].position)});
+        for (ReaderCell& cell : cells) {
+          cell.on_tag_moved(layout.tags[t].id());
+        }
+      }
+      handoffs += FleetCoordinator::reassign(layout.tags, readers, tag_cell);
+    }
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  FleetResult result;
+  const double duration_s = config_.epochs * config_.epoch_duration_s;
+  result.stats = summarize_service(merged, duration_s);
+  result.stats.readers = static_cast<int>(m);
+  result.stats.handoffs = handoffs;
+  result.stats.reader_utilization =
+      utilization_sum / static_cast<double>(m * config_.epochs);
+  for (const ReaderCell& cell : cells) {
+    const LinkCache::Stats& cache = cell.cache().stats();
+    result.stats.cache_lookups += cache.lookups;
+    result.stats.cache_hits += cache.hits;
+    result.stats.raytrace_evals += cache.raytrace_evals;
+  }
+  result.last_epoch = std::move(epoch_results);
+  result.plans = plans;
+  result.sweep.points = m * static_cast<std::size_t>(config_.epochs);
+  result.sweep.threads = pool.size();
+  result.sweep.wall_s = wall_s;
+  result.sweep.units = reads_total;
+  return result;
+}
+
+}  // namespace mmtag::deploy

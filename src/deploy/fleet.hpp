@@ -1,0 +1,69 @@
+// Fleet simulator: M reader cells serving N tags, in parallel, bit-exact.
+//
+// Composes the deploy layer end to end: layout generation, per-cell
+// inventory+polling over cached link budgets, cross-reader coordination,
+// optional tag mobility with cache invalidation and inter-cell handoff,
+// and fleet-level statistics. Cells execute on the shared sim::ThreadPool;
+// each (epoch, cell) pair gets a private RNG stream via
+// sim::derive_seed(seed, epoch * M + cell), and per-cell results merge in
+// cell order, so fleet aggregates are bit-identical at any thread count —
+// the same discipline as the sweep engine (DESIGN.md Sec. 7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/deploy/cell.hpp"
+#include "src/deploy/coordinator.hpp"
+#include "src/deploy/fleet_stats.hpp"
+#include "src/deploy/layout.hpp"
+#include "src/sim/parallel.hpp"
+
+namespace mmtag::deploy {
+
+struct FleetConfig {
+  LayoutConfig layout;
+  CellConfig cell;
+  CoordinatorConfig coordination;
+  /// Epochs alternate cell service and (optional) mobility steps.
+  int epochs = 2;
+  double epoch_duration_s = 0.05;
+  /// Fraction of the tag population that takes a random-walk step between
+  /// epochs (those tags' cache entries are invalidated and they may hand
+  /// off between cells).
+  double mobile_fraction = 0.0;
+  double mobile_speed_mps = 1.5;
+  /// Base seed for every stream in the run (cells, mobility).
+  std::uint64_t seed = 1;
+  /// Worker threads (<= 0 selects sim::default_thread_count()).
+  int threads = 0;
+  /// Disable to measure the uncached baseline (every link lookup
+  /// re-traces; see bench_d1_fleet).
+  bool use_link_cache = true;
+};
+
+struct FleetResult {
+  FleetStats stats;
+  /// Per-cell results of the final epoch (cell order).
+  std::vector<CellEpochResult> last_epoch;
+  /// Final-epoch coordination plans (cell order).
+  std::vector<CellPlan> plans;
+  /// Wall-clock cost of the run (threads, wall_s; units = tag reads).
+  sim::SweepStats sweep;
+};
+
+class FleetSimulator {
+ public:
+  explicit FleetSimulator(FleetConfig config);
+
+  /// Run the configured number of epochs and aggregate. Deterministic in
+  /// `config.seed`; independent of `config.threads`.
+  [[nodiscard]] FleetResult run();
+
+  [[nodiscard]] const FleetConfig& config() const { return config_; }
+
+ private:
+  FleetConfig config_;
+};
+
+}  // namespace mmtag::deploy

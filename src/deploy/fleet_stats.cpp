@@ -1,0 +1,126 @@
+#include "src/deploy/fleet_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace mmtag::deploy {
+
+double percentile(std::vector<double> values, double pct) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::sort(values.begin(), values.end());
+  const double clamped = std::clamp(pct, 0.0, 100.0);
+  const double rank =
+      clamped / 100.0 * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+double jain_fairness(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : values) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+FleetStats summarize_service(const std::vector<TagService>& service,
+                             double duration_s) {
+  FleetStats stats;
+  stats.tags_total = static_cast<int>(service.size());
+  stats.duration_s = duration_s;
+
+  std::vector<double> latencies;
+  std::vector<double> goodputs;
+  latencies.reserve(service.size());
+  goodputs.reserve(service.size());
+  double read_goodput_sum = 0.0;
+  for (const TagService& tag : service) {
+    const double goodput =
+        duration_s > 0.0 ? tag.delivered_bits / duration_s : 0.0;
+    stats.goodput_total_bps += goodput;
+    if (!tag.read) continue;
+    ++stats.tags_read;
+    latencies.push_back(tag.first_read_s);
+    goodputs.push_back(goodput);
+    read_goodput_sum += goodput;
+  }
+  stats.latency_p50_s = percentile(latencies, 50.0);
+  stats.latency_p95_s = percentile(latencies, 95.0);
+  stats.latency_p99_s = percentile(latencies, 99.0);
+  stats.goodput_mean_bps =
+      goodputs.empty()
+          ? 0.0
+          : read_goodput_sum / static_cast<double>(goodputs.size());
+  stats.jain = jain_fairness(goodputs);
+  return stats;
+}
+
+namespace {
+
+void fnv_mix(std::uint64_t& hash, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001B3ull;
+  }
+}
+
+void fnv_mix_double(std::uint64_t& hash, double value) {
+  // NaN percentiles (no tags read) hash via a canonical bit pattern so two
+  // equally-empty runs still agree.
+  std::uint64_t bits = 0;
+  if (std::isnan(value)) {
+    bits = 0x7FF8000000000000ull;
+  } else {
+    std::memcpy(&bits, &value, sizeof(bits));
+  }
+  fnv_mix(hash, &bits, sizeof(bits));
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const FleetStats& stats) {
+  std::uint64_t hash = 0xCBF29CE484222325ull;
+  fnv_mix(hash, &stats.tags_total, sizeof(stats.tags_total));
+  fnv_mix(hash, &stats.tags_read, sizeof(stats.tags_read));
+  fnv_mix(hash, &stats.handoffs, sizeof(stats.handoffs));
+  fnv_mix_double(hash, stats.duration_s);
+  fnv_mix_double(hash, stats.latency_p50_s);
+  fnv_mix_double(hash, stats.latency_p95_s);
+  fnv_mix_double(hash, stats.latency_p99_s);
+  fnv_mix_double(hash, stats.goodput_mean_bps);
+  fnv_mix_double(hash, stats.goodput_total_bps);
+  fnv_mix_double(hash, stats.jain);
+  fnv_mix_double(hash, stats.reader_utilization);
+  return hash;
+}
+
+sim::Table fleet_stats_table(const FleetStats& stats) {
+  sim::Table table({"tags_read", "coverage", "p50_ms", "p95_ms", "p99_ms",
+                    "tags/s", "goodput_mean", "jain", "reader_util",
+                    "cache_hit", "handoffs"});
+  const auto ms = [](double s) {
+    return std::isnan(s) ? std::string("-") : sim::Table::fmt(s * 1e3, 2);
+  };
+  table.add_row({std::to_string(stats.tags_read) + "/" +
+                     std::to_string(stats.tags_total),
+                 sim::Table::fmt(stats.coverage() * 100.0, 1) + "%",
+                 ms(stats.latency_p50_s), ms(stats.latency_p95_s),
+                 ms(stats.latency_p99_s),
+                 sim::Table::fmt(stats.tags_read_per_s(), 0),
+                 sim::Table::fmt_rate(stats.goodput_mean_bps),
+                 sim::Table::fmt(stats.jain, 3),
+                 sim::Table::fmt(stats.reader_utilization, 3),
+                 sim::Table::fmt(stats.cache_hit_rate(), 3),
+                 std::to_string(stats.handoffs)});
+  return table;
+}
+
+}  // namespace mmtag::deploy

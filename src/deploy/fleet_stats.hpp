@@ -1,0 +1,93 @@
+// Fleet-level observables: latency percentiles, fairness, utilization.
+//
+// Deployment papers judge an inventory system by distributional metrics —
+// "p99 time to first read", "Jain fairness of per-tag goodput" — not by a
+// single link's rate. These helpers compute them from per-tag service
+// records; aggregation is defined in a fixed (tag-index) order so fleet
+// results are bit-identical regardless of how many threads produced the
+// underlying per-cell results.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/sim/table.hpp"
+
+namespace mmtag::deploy {
+
+/// Linear-interpolation percentile (pct in [0, 100]) of `values`.
+/// The input need not be sorted; a copy is sorted internally.
+/// Empty input returns NaN.
+[[nodiscard]] double percentile(std::vector<double> values, double pct);
+
+/// Jain fairness index (sum x)^2 / (n * sum x^2) in (0, 1]; 1 means all
+/// shares equal. Empty or all-zero input returns 0.
+[[nodiscard]] double jain_fairness(const std::vector<double>& values);
+
+/// One tag's service over a whole fleet run, merged across epochs.
+struct TagService {
+  std::uint32_t tag_id = 0;
+  bool read = false;
+  /// Absolute fleet time of the first successful inventory read [s].
+  double first_read_s = std::numeric_limits<double>::infinity();
+  double delivered_bits = 0.0;
+  long polls = 0;
+};
+
+/// Aggregated fleet observables.
+struct FleetStats {
+  int readers = 0;
+  int tags_total = 0;
+  int tags_read = 0;
+  double duration_s = 0.0;
+
+  double latency_p50_s = 0.0;
+  double latency_p95_s = 0.0;
+  double latency_p99_s = 0.0;
+
+  double goodput_mean_bps = 0.0;   ///< Mean over read tags.
+  double goodput_total_bps = 0.0;  ///< Sum over all tags.
+  double jain = 0.0;               ///< Fairness of read tags' goodputs.
+
+  double reader_utilization = 0.0;  ///< Mean airtime / wall time per cell.
+  int handoffs = 0;
+
+  std::uint64_t cache_lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t raytrace_evals = 0;
+
+  [[nodiscard]] double coverage() const {
+    return tags_total > 0
+               ? static_cast<double>(tags_read) / tags_total
+               : 0.0;
+  }
+  [[nodiscard]] double tags_read_per_s() const {
+    return duration_s > 0.0 ? tags_read / duration_s : 0.0;
+  }
+  [[nodiscard]] double cache_hit_rate() const {
+    return cache_lookups > 0
+               ? static_cast<double>(cache_hits) /
+                     static_cast<double>(cache_lookups)
+               : 0.0;
+  }
+};
+
+/// Compute the distributional fields of FleetStats from per-tag service
+/// records (latencies over read tags, goodput, Jain). `duration_s` is the
+/// total simulated wall time. Counter fields (readers, handoffs, cache_*)
+/// are left for the caller.
+[[nodiscard]] FleetStats summarize_service(
+    const std::vector<TagService>& service, double duration_s);
+
+/// Order-independent fingerprint of the exact bit patterns of a stats
+/// block's value fields (FNV-1a over doubles' representations). Two runs
+/// agree on every observable iff their fingerprints match — the
+/// determinism tests and bench compare these across thread counts.
+[[nodiscard]] std::uint64_t fingerprint(const FleetStats& stats);
+
+/// One-row summary table (tags read, coverage, latency percentiles,
+/// goodput, Jain, utilization) for benches and examples.
+[[nodiscard]] sim::Table fleet_stats_table(const FleetStats& stats);
+
+}  // namespace mmtag::deploy

@@ -1,0 +1,62 @@
+#include "src/deploy/link_cache.hpp"
+
+#include <cassert>
+
+namespace mmtag::deploy {
+
+LinkCache::LinkCache(reader::MmWaveReader reader,
+                     const channel::Environment* env,
+                     const phy::RateTable* rates, bool enabled)
+    : reader_(std::move(reader)), env_(env), rates_(rates),
+      enabled_(enabled) {
+  assert(env_ != nullptr && rates_ != nullptr);
+}
+
+const reader::LinkReport& LinkCache::link(const core::MmTag& tag,
+                                          int beam_key,
+                                          double boresight_rad) {
+  ++stats_.lookups;
+  TagEntry& entry = entries_[tag.id()];
+
+  if (enabled_) {
+    const auto cached = entry.reports.find(beam_key);
+    if (cached != entry.reports.end()) {
+      ++stats_.hits;
+      return cached->second;
+    }
+  }
+
+  if (!enabled_ || !entry.paths_valid) {
+    entry.paths = channel::trace_paths(*env_, reader_.pose().position,
+                                       tag.pose().position);
+    entry.paths_valid = enabled_;
+    ++stats_.raytrace_evals;
+  }
+
+  reader_.steer_to_world(boresight_rad);
+  reader::LinkReport best;
+  for (const channel::Path& path : entry.paths) {
+    reader::LinkReport report = reader_.evaluate_path(tag, path, *rates_);
+    if (report.received_power_dbm > best.received_power_dbm) {
+      best = report;
+    }
+  }
+  if (!enabled_) {
+    scratch_ = best;
+    return scratch_;
+  }
+  return entry.reports.emplace(beam_key, best).first->second;
+}
+
+void LinkCache::invalidate_tag(std::uint32_t tag_id) {
+  entries_.erase(tag_id);
+}
+
+void LinkCache::invalidate_all() { entries_.clear(); }
+
+void LinkCache::move_reader(core::Pose pose) {
+  reader_.set_pose(pose);
+  invalidate_all();
+}
+
+}  // namespace mmtag::deploy

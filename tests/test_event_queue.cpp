@@ -30,6 +30,35 @@ TEST(EventQueue, SimultaneousEventsAreFifo) {
   EXPECT_EQ(log, "abc");
 }
 
+TEST(EventQueue, SimultaneousOrderingIsStableAtScale) {
+  // Regression for the fleet simulator, which schedules many events at
+  // identical timestamps: the sequence-number tie-break must keep
+  // same-time events in exact scheduling (FIFO) order, independent of
+  // heap internals, even when interleaved with earlier/later work and
+  // with events scheduled from inside events.
+  EventQueue queue;
+  std::vector<int> order;
+  constexpr int kBatch = 257;  // Enough to force heap rebalancing.
+  for (int i = 0; i < kBatch; ++i) {
+    queue.schedule(2.0, [&order, i] { order.push_back(i); });
+  }
+  // An earlier event schedules more work at the same contested timestamp;
+  // those must run after the batch above (later sequence numbers).
+  queue.schedule(1.0, [&] {
+    for (int i = kBatch; i < kBatch + 3; ++i) {
+      queue.schedule(2.0, [&order, i] { order.push_back(i); });
+    }
+  });
+  queue.schedule(3.0, [&] { order.push_back(-1); });
+  queue.run();
+
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kBatch + 4));
+  for (int i = 0; i < kBatch + 3; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i) << "position " << i;
+  }
+  EXPECT_EQ(order.back(), -1);
+}
+
 TEST(EventQueue, ScheduleInIsRelative) {
   EventQueue queue;
   double fired_at = -1.0;

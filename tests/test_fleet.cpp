@@ -1,0 +1,181 @@
+// Fleet simulator (src/deploy): layout determinism, end-to-end service,
+// thread-count invariance of the aggregates, mobility/handoff, and the
+// cache's raytrace savings on static scenarios.
+#include "src/deploy/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/deploy/layout.hpp"
+#include "src/sim/parallel.hpp"
+
+namespace mmtag::deploy {
+namespace {
+
+FleetConfig small_fleet() {
+  FleetConfig config;
+  config.layout.width_m = 10.0;
+  config.layout.height_m = 6.0;
+  config.layout.readers = 4;
+  config.layout.tags = 60;
+  config.layout.seed = 42;
+  config.epochs = 2;
+  config.epoch_duration_s = 0.02;
+  config.seed = 42;
+  config.threads = 1;
+  return config;
+}
+
+TEST(Layout, IsDeterministicAndInBounds) {
+  LayoutConfig config;
+  config.width_m = 10.0;
+  config.height_m = 6.0;
+  config.readers = 4;
+  config.tags = 50;
+  config.seed = 7;
+  const FleetLayout a = make_layout(config);
+  const FleetLayout b = make_layout(config);
+  ASSERT_EQ(a.tags.size(), 50u);
+  ASSERT_EQ(a.reader_poses.size(), 4u);
+  EXPECT_EQ(a.environment.walls().size(), 4u);
+  for (std::size_t i = 0; i < a.tags.size(); ++i) {
+    const auto pa = a.tags[i].pose().position;
+    const auto pb = b.tags[i].pose().position;
+    EXPECT_DOUBLE_EQ(pa.x, pb.x);
+    EXPECT_DOUBLE_EQ(pa.y, pb.y);
+    EXPECT_GE(pa.x, config.margin_m);
+    EXPECT_LE(pa.x, config.width_m - config.margin_m);
+    EXPECT_GE(pa.y, config.margin_m);
+    EXPECT_LE(pa.y, config.height_m - config.margin_m);
+  }
+}
+
+TEST(Layout, GridPlacementCoversTheFloor) {
+  LayoutConfig config;
+  config.width_m = 10.0;
+  config.height_m = 6.0;
+  config.readers = 2;
+  config.tags = 12;
+  config.placement = TagPlacement::kGrid;
+  const FleetLayout layout = make_layout(config);
+  // Grid tags spread across both halves of the room.
+  int left = 0;
+  for (const auto& tag : layout.tags) {
+    if (tag.pose().position.x < config.width_m / 2.0) ++left;
+  }
+  EXPECT_GT(left, 2);
+  EXPECT_LT(left, 10);
+}
+
+TEST(FleetSimulator, ReadsMostTagsAndProducesSaneStats) {
+  FleetSimulator fleet(small_fleet());
+  const FleetResult result = fleet.run();
+  const FleetStats& stats = result.stats;
+
+  EXPECT_EQ(stats.tags_total, 60);
+  EXPECT_GT(stats.coverage(), 0.8);  // Dense 4-reader cell grid: near-full.
+  EXPECT_GT(stats.tags_read, 0);
+  EXPECT_GT(stats.goodput_mean_bps, 0.0);
+  EXPECT_GT(stats.jain, 0.1);
+  EXPECT_LE(stats.jain, 1.0);
+  EXPECT_GE(stats.latency_p99_s, stats.latency_p50_s);
+  EXPECT_GT(stats.reader_utilization, 0.0);
+  EXPECT_LE(stats.reader_utilization, 1.0);
+  EXPECT_GT(stats.cache_hit_rate(), 0.5);  // Polling re-hits constantly.
+  ASSERT_EQ(result.last_epoch.size(), 4u);
+  ASSERT_EQ(result.plans.size(), 4u);
+}
+
+TEST(FleetSimulator, AggregatesAreBitIdenticalAcrossThreadCounts) {
+  FleetConfig base = small_fleet();
+  base.mobile_fraction = 0.2;  // Exercise invalidation + handoff too.
+
+  std::uint64_t reference = 0;
+  bool first = true;
+  for (const int threads : {1, 4, sim::default_thread_count()}) {
+    FleetConfig config = base;
+    config.threads = threads;
+    const FleetResult result = FleetSimulator(config).run();
+    const std::uint64_t print = fingerprint(result.stats);
+    if (first) {
+      reference = print;
+      first = false;
+    } else {
+      EXPECT_EQ(print, reference) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(FleetSimulator, SeedChangesTheRealization) {
+  FleetConfig a = small_fleet();
+  FleetConfig b = small_fleet();
+  b.seed = 43;
+  b.layout.seed = 43;
+  EXPECT_NE(fingerprint(FleetSimulator(a).run().stats),
+            fingerprint(FleetSimulator(b).run().stats));
+}
+
+TEST(FleetSimulator, MobilityTriggersHandoffsAndStaysDeterministic) {
+  FleetConfig config = small_fleet();
+  config.epochs = 4;
+  config.mobile_fraction = 0.5;
+  config.mobile_speed_mps = 10.0;  // Fast walkers cross cell borders.
+  const FleetResult a = FleetSimulator(config).run();
+  const FleetResult b = FleetSimulator(config).run();
+  EXPECT_GT(a.stats.handoffs, 0);
+  EXPECT_EQ(fingerprint(a.stats), fingerprint(b.stats));
+}
+
+TEST(FleetSimulator, StaticScenarioCacheSavesTenfoldRaytraces) {
+  FleetConfig cached = small_fleet();
+  // Full-airtime policy: cells poll all epoch, so the hot loop hammers the
+  // link budgets — the workload the cache exists for.
+  cached.coordination.policy = CoordinationPolicy::kChannelized;
+  FleetConfig uncached = cached;
+  uncached.use_link_cache = false;
+
+  const FleetResult with = FleetSimulator(cached).run();
+  const FleetResult without = FleetSimulator(uncached).run();
+
+  // Identical physics either way...
+  EXPECT_EQ(fingerprint(with.stats), fingerprint(without.stats));
+  // ...but the static scenario re-traces nothing after warmup.
+  EXPECT_GT(without.stats.raytrace_evals, 0u);
+  EXPECT_GE(without.stats.raytrace_evals, 10 * with.stats.raytrace_evals);
+  EXPECT_EQ(without.stats.cache_hits, 0u);
+}
+
+TEST(FleetCoordinator, TdmSharesAirtimeWithoutInterference) {
+  FleetConfig config = small_fleet();
+  config.coordination.policy = CoordinationPolicy::kTdm;
+  const FleetResult result = FleetSimulator(config).run();
+  ASSERT_EQ(result.plans.size(), 4u);
+  for (const CellPlan& plan : result.plans) {
+    EXPECT_DOUBLE_EQ(plan.airtime_share, 0.25);
+    EXPECT_DOUBLE_EQ(plan.interference_dbm, -300.0);
+  }
+  // A quarter of the airtime caps reader utilization at a quarter.
+  EXPECT_LE(result.stats.reader_utilization, 0.25 + 1e-9);
+}
+
+TEST(FleetCoordinator, ChannelizationReducesInterferenceLoad) {
+  FleetConfig same = small_fleet();
+  same.coordination.policy = CoordinationPolicy::kSimultaneous;
+  FleetConfig channelized = small_fleet();
+  channelized.coordination.policy = CoordinationPolicy::kChannelized;
+  channelized.coordination.channels = 4;
+
+  const FleetResult raw = FleetSimulator(same).run();
+  const FleetResult part = FleetSimulator(channelized).run();
+  double worst_raw = -400.0;
+  double worst_part = -400.0;
+  for (std::size_t i = 0; i < raw.plans.size(); ++i) {
+    worst_raw = std::max(worst_raw, raw.plans[i].interference_dbm);
+    worst_part = std::max(worst_part, part.plans[i].interference_dbm);
+  }
+  EXPECT_LT(worst_part, worst_raw);
+  // Less interference can only help service.
+  EXPECT_GE(part.stats.tags_read, raw.stats.tags_read);
+}
+
+}  // namespace
+}  // namespace mmtag::deploy

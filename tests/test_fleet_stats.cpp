@@ -1,0 +1,114 @@
+// Fleet statistics helpers (src/deploy/fleet_stats).
+#include "src/deploy/fleet_stats.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mmtag::deploy {
+namespace {
+
+TEST(Percentile, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  // Ranks 0..3; p50 falls exactly between 2.0 and 3.0.
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 25.0), 1.75);
+}
+
+TEST(Percentile, ExtremesAreMinAndMax) {
+  const std::vector<double> xs{5.0, -1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), -1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+}
+
+TEST(Percentile, SingleValueIsEveryPercentile) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 1.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(Percentile, EmptyIsNaN) {
+  EXPECT_TRUE(std::isnan(percentile({}, 50.0)));
+}
+
+TEST(Percentile, OutOfRangePctClamps) {
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 140.0), 2.0);
+}
+
+TEST(JainFairness, EqualSharesAreUnity) {
+  EXPECT_DOUBLE_EQ(jain_fairness({4.0, 4.0, 4.0, 4.0}), 1.0);
+}
+
+TEST(JainFairness, OneHogOfNGivesOneOverN) {
+  // A single non-zero share among n users scores exactly 1/n.
+  EXPECT_DOUBLE_EQ(jain_fairness({10.0, 0.0, 0.0, 0.0, 0.0}), 1.0 / 5.0);
+}
+
+TEST(JainFairness, DegenerateInputsAreZero) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 0.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0.0, 0.0}), 0.0);
+}
+
+TEST(JainFairness, ScaleInvariant) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(a), jain_fairness(b));
+}
+
+TEST(SummarizeService, CountsReadsAndLatencies) {
+  std::vector<TagService> service(3);
+  service[0].read = true;
+  service[0].first_read_s = 0.010;
+  service[0].delivered_bits = 960.0;
+  service[1].read = true;
+  service[1].first_read_s = 0.030;
+  service[1].delivered_bits = 480.0;
+  service[2].read = false;  // Never read, no goodput.
+
+  const FleetStats stats = summarize_service(service, 1.0);
+  EXPECT_EQ(stats.tags_total, 3);
+  EXPECT_EQ(stats.tags_read, 2);
+  EXPECT_DOUBLE_EQ(stats.latency_p50_s, 0.020);
+  EXPECT_DOUBLE_EQ(stats.latency_p99_s, 0.010 + 0.020 * 0.99);
+  EXPECT_DOUBLE_EQ(stats.goodput_total_bps, 1440.0);
+  EXPECT_DOUBLE_EQ(stats.goodput_mean_bps, 720.0);
+  EXPECT_NEAR(stats.coverage(), 2.0 / 3.0, 1e-12);
+  EXPECT_GT(stats.jain, 0.0);
+  EXPECT_LT(stats.jain, 1.0);
+}
+
+TEST(Fingerprint, SensitiveToAnyObservable) {
+  std::vector<TagService> service(2);
+  service[0].read = true;
+  service[0].first_read_s = 0.01;
+  const FleetStats a = summarize_service(service, 1.0);
+
+  FleetStats b = a;
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+  b.goodput_total_bps += 1e-9;
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, StableWhenNothingWasRead) {
+  // NaN percentiles must hash canonically, not garbage.
+  const std::vector<TagService> service(4);
+  const FleetStats a = summarize_service(service, 1.0);
+  const FleetStats b = summarize_service(service, 1.0);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(FleetStatsTable, RendersOneRow) {
+  std::vector<TagService> service(1);
+  service[0].read = true;
+  service[0].first_read_s = 0.5;
+  const FleetStats stats = summarize_service(service, 1.0);
+  const sim::Table table = fleet_stats_table(stats);
+  EXPECT_EQ(table.rows(), 1u);
+  EXPECT_NE(table.to_string().find("1/1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmtag::deploy
