@@ -9,8 +9,8 @@
 // loss, the quantitative version of the footnote.
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 
+#include "bench/bench_main.hpp"
 #include "src/channel/propagation.hpp"
 #include "src/core/van_atta.hpp"
 #include "src/phy/rate_table.hpp"
@@ -21,7 +21,10 @@
 
 int main(int argc, char** argv) {
   using namespace mmtag;
-  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+  bench::Parser parser("a1_frequency",
+                       "carrier-frequency scaling of tag size and reach");
+  if (!parser.parse(argc, argv)) return parser.exit_code();
+  bench::Harness harness(parser.options());
 
   const phy::RateTable rates = phy::RateTable::mmtag_standard();
   const phy::RateTier gbps = rates.tiers().front();
@@ -30,52 +33,63 @@ int main(int argc, char** argv) {
   const double footprint_m =
       6.0 * phys::wavelength_m(phys::kMmTagCarrierHz) / 2.0;
 
-  sim::Table table({"carrier_ghz", "lambda_mm", "gas_db_per_km",
-                    "tag_width_mm_6el", "reach_1gbps_ft_6el",
-                    "elements_same_size", "reach_1gbps_ft_same_size"});
-  for (const double f_ghz : {24.0, 28.0, 39.0, 60.0, 77.0, 94.0}) {
-    const double f = phys::ghz(f_ghz);
-    const double lambda = phys::wavelength_m(f);
-    const int same_size_elements = std::max(
-        1, static_cast<int>(std::floor(footprint_m / (lambda / 2.0))));
+  const std::vector<std::string> headers = {
+      "carrier_ghz",      "lambda_mm",          "gas_db_per_km",
+      "tag_width_mm_6el", "reach_1gbps_ft_6el", "elements_same_size",
+      "reach_1gbps_ft_same_size"};
+  sim::Table table(headers);
 
-    // Budget (a): 6 elements at the new carrier.
-    const auto budget_at = [&](int elements) {
-      phys::BackscatterLinkBudget budget =
-          phys::BackscatterLinkBudget::mmtag_prototype();
-      budget.frequency_hz = f;
-      const double side =
-          5.0 + phys::ratio_to_db(static_cast<double>(elements));
-      budget.tag_rx_gain_dbi = side;
-      budget.tag_tx_gain_dbi = side;
-      return budget;
-    };
-    const double required = rates.required_power_dbm(gbps);
-    // Include two-way atmospheric loss in the reach (bisect).
-    const auto reach_ft = [&](int elements) {
-      const phys::BackscatterLinkBudget budget = budget_at(elements);
-      double lo = 0.01, hi = 100.0;
-      for (int i = 0; i < 60; ++i) {
-        const double mid = (lo + hi) / 2.0;
-        const double gas_db =
-            2.0 * channel::atmospheric_attenuation_db_per_km(f) * mid /
-            1000.0;
-        (budget.received_power_dbm(mid) - gas_db >= required ? lo : hi) =
-            mid;
-      }
-      return phys::m_to_feet(lo);
-    };
+  harness.add("carrier_sweep", [&](bench::CaseContext& ctx) {
+    table = sim::Table(headers);
+    int carriers = 0;
+    for (const double f_ghz : {24.0, 28.0, 39.0, 60.0, 77.0, 94.0}) {
+      const double f = phys::ghz(f_ghz);
+      const double lambda = phys::wavelength_m(f);
+      const int same_size_elements = std::max(
+          1, static_cast<int>(std::floor(footprint_m / (lambda / 2.0))));
 
-    table.add_row({sim::Table::fmt(f_ghz, 0),
-                   sim::Table::fmt(lambda * 1e3, 2),
-                   sim::Table::fmt(
-                       channel::atmospheric_attenuation_db_per_km(f), 2),
-                   sim::Table::fmt(6.0 * lambda / 2.0 * 1e3, 1),
-                   sim::Table::fmt(reach_ft(6), 1),
-                   std::to_string(same_size_elements),
-                   sim::Table::fmt(reach_ft(same_size_elements), 1)});
-  }
-  if (csv) {
+      // Budget (a): 6 elements at the new carrier.
+      const auto budget_at = [&](int elements) {
+        phys::BackscatterLinkBudget budget =
+            phys::BackscatterLinkBudget::mmtag_prototype();
+        budget.frequency_hz = f;
+        const double side =
+            5.0 + phys::ratio_to_db(static_cast<double>(elements));
+        budget.tag_rx_gain_dbi = side;
+        budget.tag_tx_gain_dbi = side;
+        return budget;
+      };
+      const double required = rates.required_power_dbm(gbps);
+      // Include two-way atmospheric loss in the reach (bisect).
+      const auto reach_ft = [&](int elements) {
+        const phys::BackscatterLinkBudget budget = budget_at(elements);
+        double lo = 0.01, hi = 100.0;
+        for (int i = 0; i < 60; ++i) {
+          const double mid = (lo + hi) / 2.0;
+          const double gas_db =
+              2.0 * channel::atmospheric_attenuation_db_per_km(f) * mid /
+              1000.0;
+          (budget.received_power_dbm(mid) - gas_db >= required ? lo : hi) =
+              mid;
+        }
+        return phys::m_to_feet(lo);
+      };
+
+      table.add_row({sim::Table::fmt(f_ghz, 0),
+                     sim::Table::fmt(lambda * 1e3, 2),
+                     sim::Table::fmt(
+                         channel::atmospheric_attenuation_db_per_km(f), 2),
+                     sim::Table::fmt(6.0 * lambda / 2.0 * 1e3, 1),
+                     sim::Table::fmt(reach_ft(6), 1),
+                     std::to_string(same_size_elements),
+                     sim::Table::fmt(reach_ft(same_size_elements), 1)});
+      ++carriers;
+    }
+    ctx.set_units(carriers, "carriers");
+  });
+
+  if (const int rc = harness.run(); rc != 0) return rc;
+  if (parser.csv()) {
     std::fputs(table.to_csv().c_str(), stdout);
     return 0;
   }

@@ -9,8 +9,8 @@
 // (a consequence of the paper's Gbps rates that UHF RFID never faced).
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 
+#include "bench/bench_main.hpp"
 #include "src/mac/inventory.hpp"
 #include "src/mac/polling.hpp"
 #include "src/phys/constants.hpp"
@@ -39,7 +39,10 @@ std::vector<mmtag::core::MmTag> arc_tags(int count, double radius_m) {
 
 int main(int argc, char** argv) {
   using namespace mmtag;
-  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+  bench::Parser parser("a3_mac_overhead",
+                       "Aloha vs polling across beam-switch overhead");
+  if (!parser.parse(argc, argv)) return parser.exit_code();
+  bench::Harness harness(parser.options());
 
   const auto reader =
       reader::MmWaveReader::prototype_at(core::Pose{{0.0, 0.0}, 0.0});
@@ -49,28 +52,39 @@ int main(int argc, char** argv) {
   const auto tags = arc_tags(32, phys::feet_to_m(4.0));
   const channel::Environment env;
 
-  sim::Table table({"switch_overhead_us", "aloha_ms", "polling_ms",
-                    "winner"});
-  for (const double overhead_us : {0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0,
-                                   100.0}) {
-    auto rng = sim::make_rng(8000 + static_cast<unsigned>(overhead_us * 10));
-    mac::InventoryConfig aloha_config;
-    aloha_config.beam_switch_overhead_s = overhead_us * 1e-6;
-    mac::SdmInventory aloha(reader, rates, aloha_config);
-    const double aloha_s =
-        aloha.run(codebook, tags, env, rng).total_time_s;
+  const std::vector<std::string> headers = {"switch_overhead_us", "aloha_ms",
+                                            "polling_ms", "winner"};
+  sim::Table table(headers);
 
-    mac::PollingConfig polling_config;
-    polling_config.beam_switch_overhead_s = overhead_us * 1e-6;
-    mac::PollingScheduler polling(reader, rates, polling_config);
-    const double polling_s = polling.run_round(tags, env).total_time_s;
+  harness.add("overhead_sweep", [&](bench::CaseContext& ctx) {
+    table = sim::Table(headers);
+    int rounds = 0;
+    for (const double overhead_us : {0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0,
+                                     100.0}) {
+      auto rng = sim::make_rng(sim::derive_seed(
+          ctx.seed(), 8000 + static_cast<std::uint64_t>(overhead_us * 10)));
+      mac::InventoryConfig aloha_config;
+      aloha_config.beam_switch_overhead_s = overhead_us * 1e-6;
+      mac::SdmInventory aloha(reader, rates, aloha_config);
+      const double aloha_s =
+          aloha.run(codebook, tags, env, rng).total_time_s;
 
-    table.add_row({sim::Table::fmt(overhead_us, 1),
-                   sim::Table::fmt(aloha_s * 1e3, 3),
-                   sim::Table::fmt(polling_s * 1e3, 3),
-                   polling_s < aloha_s ? "polling" : "aloha"});
-  }
-  if (csv) {
+      mac::PollingConfig polling_config;
+      polling_config.beam_switch_overhead_s = overhead_us * 1e-6;
+      mac::PollingScheduler polling(reader, rates, polling_config);
+      const double polling_s = polling.run_round(tags, env).total_time_s;
+
+      table.add_row({sim::Table::fmt(overhead_us, 1),
+                     sim::Table::fmt(aloha_s * 1e3, 3),
+                     sim::Table::fmt(polling_s * 1e3, 3),
+                     polling_s < aloha_s ? "polling" : "aloha"});
+      ++rounds;
+    }
+    ctx.set_units(rounds, "overhead points");
+  });
+
+  if (const int rc = harness.run(); rc != 0) return rc;
+  if (parser.csv()) {
     std::fputs(table.to_csv().c_str(), stdout);
     return 0;
   }

@@ -8,8 +8,8 @@
 // ~halves the range; QPSK doubles rate at only 3 dB (but needs a
 // phase-modulating tag, i.e. switched line lengths instead of shunt FETs).
 #include <cstdio>
-#include <cstring>
 
+#include "bench/bench_main.hpp"
 #include "src/phy/modulation.hpp"
 #include "src/phy/rate_table.hpp"
 #include "src/phys/constants.hpp"
@@ -19,36 +19,49 @@
 
 int main(int argc, char** argv) {
   using namespace mmtag;
-  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+  bench::Parser parser("a4_modulation",
+                       "rate/range trade of higher-order tag modulation");
+  if (!parser.parse(argc, argv)) return parser.exit_code();
+  bench::Harness harness(parser.options());
 
   const phys::NoiseModel noise = phys::NoiseModel::mmtag_reader();
   const auto budget = phys::BackscatterLinkBudget::mmtag_prototype();
   const double bandwidth = phys::ghz(2.0);
   const double floor_dbm = noise.power_dbm(bandwidth);
 
-  sim::Table table({"scheme", "bits_per_sym", "snr_req_db", "rate_2ghz",
-                    "range_at_rate_ft", "tag_hardware"});
-  const struct {
-    phy::Scheme scheme;
-    const char* hardware;
-  } kRows[] = {
-      {phy::Scheme::kOok, "shunt FET (the prototype)"},
-      {phy::Scheme::kBpsk, "0/180deg switched line"},
-      {phy::Scheme::kQpsk, "quadrature switched lines"},
-      {phy::Scheme::kAsk4, "4-state shunt impedance"},
-  };
-  for (const auto& row : kRows) {
-    const double snr_req = phy::scheme_snr_for_ber_db(row.scheme, 1e-3);
-    const double required_dbm = floor_dbm + snr_req;
-    const double reach_ft = phys::m_to_feet(budget.max_range_m(required_dbm));
-    table.add_row({phy::scheme_name(row.scheme),
-                   std::to_string(phy::bits_per_symbol(row.scheme)),
-                   sim::Table::fmt(snr_req, 1),
-                   sim::Table::fmt_rate(
-                       phy::scheme_rate_bps(row.scheme, bandwidth)),
-                   sim::Table::fmt(reach_ft, 1), row.hardware});
-  }
-  if (csv) {
+  const std::vector<std::string> headers = {
+      "scheme", "bits_per_sym", "snr_req_db", "rate_2ghz",
+      "range_at_rate_ft", "tag_hardware"};
+  sim::Table table(headers);
+
+  harness.add("scheme_table", [&](bench::CaseContext& ctx) {
+    table = sim::Table(headers);
+    const struct {
+      phy::Scheme scheme;
+      const char* hardware;
+    } kRows[] = {
+        {phy::Scheme::kOok, "shunt FET (the prototype)"},
+        {phy::Scheme::kBpsk, "0/180deg switched line"},
+        {phy::Scheme::kQpsk, "quadrature switched lines"},
+        {phy::Scheme::kAsk4, "4-state shunt impedance"},
+    };
+    for (const auto& row : kRows) {
+      const double snr_req = phy::scheme_snr_for_ber_db(row.scheme, 1e-3);
+      const double required_dbm = floor_dbm + snr_req;
+      const double reach_ft =
+          phys::m_to_feet(budget.max_range_m(required_dbm));
+      table.add_row({phy::scheme_name(row.scheme),
+                     std::to_string(phy::bits_per_symbol(row.scheme)),
+                     sim::Table::fmt(snr_req, 1),
+                     sim::Table::fmt_rate(
+                         phy::scheme_rate_bps(row.scheme, bandwidth)),
+                     sim::Table::fmt(reach_ft, 1), row.hardware});
+    }
+    ctx.set_units(4, "schemes");
+  });
+
+  if (const int rc = harness.run(); rc != 0) return rc;
+  if (parser.csv()) {
     std::fputs(table.to_csv().c_str(), stdout);
     return 0;
   }

@@ -8,8 +8,8 @@
 // (the blind OOK threshold estimator and the tag's dc balance both care),
 // and the net goodput each coding achieves on a healthy 2 GHz link.
 #include <cstdio>
-#include <cstring>
 
+#include "bench/bench_main.hpp"
 #include "src/phy/fm0.hpp"
 #include "src/phy/line_code.hpp"
 #include "src/phy/scrambler.hpp"
@@ -18,61 +18,74 @@
 
 int main(int argc, char** argv) {
   using namespace mmtag;
-  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+  bench::Parser parser("a5_linecode",
+                       "line-coding trade-offs for OOK backscatter");
+  if (!parser.parse(argc, argv)) return parser.exit_code();
+  bench::Harness harness(parser.options());
 
-  auto rng = sim::make_rng(9000);
-  std::bernoulli_distribution coin(0.5);
+  const std::vector<std::string> headers = {
+      "coding", "rate_eff", "goodput_2ghz", "worst_run_ones",
+      "worst_run_random", "clock_recovery"};
+  sim::Table table(headers);
+  std::size_t scrambled_ones_run = 0;
 
-  // Worst-case and random payloads.
-  const phy::BitVector all_ones(8192, true);
-  phy::BitVector random_bits(8192);
-  for (std::size_t i = 0; i < random_bits.size(); ++i) {
-    random_bits[i] = coin(rng);
-  }
+  harness.add("coding_table", [&](bench::CaseContext& ctx) {
+    auto rng = sim::make_rng(sim::derive_seed(ctx.seed(), 9000));
+    std::bernoulli_distribution coin(0.5);
 
-  struct Row {
-    const char* name;
-    double rate_efficiency;
-    std::size_t worst_run_ones;
-    std::size_t worst_run_random;
-    const char* clock_recovery;
-  };
+    // Worst-case and random payloads.
+    const phy::BitVector all_ones(8192, true);
+    phy::BitVector random_bits(8192);
+    for (std::size_t i = 0; i < random_bits.size(); ++i) {
+      random_bits[i] = coin(rng);
+    }
 
-  phy::Scrambler scrambler_ones;
-  phy::Scrambler scrambler_random;
-  const phy::BitVector scrambled_ones = scrambler_ones.scramble(all_ones);
-  const phy::BitVector scrambled_random =
-      scrambler_random.scramble(random_bits);
+    struct Row {
+      const char* name;
+      double rate_efficiency;
+      std::size_t worst_run_ones;
+      std::size_t worst_run_random;
+      const char* clock_recovery;
+    };
 
-  const Row rows[] = {
-      {"NRZ (none)", 1.0, phy::Scrambler::longest_run(all_ones),
-       phy::Scrambler::longest_run(random_bits), "none (fails on runs)"},
-      {"Manchester", 0.5,
-       phy::Scrambler::longest_run(phy::manchester_encode(all_ones)),
-       phy::Scrambler::longest_run(phy::manchester_encode(random_bits)),
-       "guaranteed edge/bit"},
-      {"FM0 (EPC)", 0.5,
-       phy::Scrambler::longest_run(phy::fm0_encode(all_ones)),
-       phy::Scrambler::longest_run(phy::fm0_encode(random_bits)),
-       "guaranteed edge/bit"},
-      {"Scrambled NRZ", 1.0, phy::Scrambler::longest_run(scrambled_ones),
-       phy::Scrambler::longest_run(scrambled_random),
-       "statistical (PRBS-15)"},
-  };
+    phy::Scrambler scrambler_ones;
+    phy::Scrambler scrambler_random;
+    const phy::BitVector scrambled_ones = scrambler_ones.scramble(all_ones);
+    const phy::BitVector scrambled_random =
+        scrambler_random.scramble(random_bits);
+    scrambled_ones_run = phy::Scrambler::longest_run(scrambled_ones);
 
-  sim::Table table({"coding", "rate_eff", "goodput_2ghz",
-                    "worst_run_ones", "worst_run_random",
-                    "clock_recovery"});
-  for (const Row& row : rows) {
-    // Goodput in the 2 GHz tier: chip rate 1 Gchip/s times rate
-    // efficiency (framing/ARQ taxes identical across codings).
-    table.add_row({row.name, sim::Table::fmt(row.rate_efficiency, 2),
-                   sim::Table::fmt_rate(1e9 * row.rate_efficiency),
-                   std::to_string(row.worst_run_ones),
-                   std::to_string(row.worst_run_random),
-                   row.clock_recovery});
-  }
-  if (csv) {
+    const Row rows[] = {
+        {"NRZ (none)", 1.0, phy::Scrambler::longest_run(all_ones),
+         phy::Scrambler::longest_run(random_bits), "none (fails on runs)"},
+        {"Manchester", 0.5,
+         phy::Scrambler::longest_run(phy::manchester_encode(all_ones)),
+         phy::Scrambler::longest_run(phy::manchester_encode(random_bits)),
+         "guaranteed edge/bit"},
+        {"FM0 (EPC)", 0.5,
+         phy::Scrambler::longest_run(phy::fm0_encode(all_ones)),
+         phy::Scrambler::longest_run(phy::fm0_encode(random_bits)),
+         "guaranteed edge/bit"},
+        {"Scrambled NRZ", 1.0, scrambled_ones_run,
+         phy::Scrambler::longest_run(scrambled_random),
+         "statistical (PRBS-15)"},
+    };
+
+    table = sim::Table(headers);
+    for (const Row& row : rows) {
+      // Goodput in the 2 GHz tier: chip rate 1 Gchip/s times rate
+      // efficiency (framing/ARQ taxes identical across codings).
+      table.add_row({row.name, sim::Table::fmt(row.rate_efficiency, 2),
+                     sim::Table::fmt_rate(1e9 * row.rate_efficiency),
+                     std::to_string(row.worst_run_ones),
+                     std::to_string(row.worst_run_random),
+                     row.clock_recovery});
+    }
+    ctx.set_units(2 * all_ones.size(), "payload bits");
+  });
+
+  if (const int rc = harness.run(); rc != 0) return rc;
+  if (parser.csv()) {
     std::fputs(table.to_csv().c_str(), stdout);
     return 0;
   }
@@ -83,6 +96,6 @@ int main(int argc, char** argv) {
       "but an adversarial payload aligned with the PRBS could still starve "
       "the tag of edges. Manchester/FM0 pay 2x for a hard guarantee; a "
       "production design would pick scrambling plus a run-length escape.\n",
-      phy::Scrambler::longest_run(scrambled_ones));
+      scrambled_ones_run);
   return 0;
 }

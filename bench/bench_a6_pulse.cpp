@@ -6,63 +6,80 @@
 // sensitivity. beta = 1 is the paper's B/2 corner; beta = 0.25 would carry
 // 1.6 Gbps through the same channel at the cost of pulses ~3x longer and a
 // much hotter ISI penalty under timing error.
+#include <cmath>
 #include <cstdio>
-#include <cstring>
 
+#include "bench/bench_main.hpp"
 #include "src/phy/pulse.hpp"
 #include "src/sim/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace mmtag;
-  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+  bench::Parser parser("a6_pulse",
+                       "raised-cosine roll-off vs rate and ISI");
+  if (!parser.parse(argc, argv)) return parser.exit_code();
+  bench::Harness harness(parser.options());
 
   const double channel_hz = 2.0e9;
   const int sps = 16;
 
-  sim::Table table({"beta", "symbol_rate", "ook_rate_2ghz",
-                    "isi_aligned", "isi_at_5pct_timing_err",
-                    "pulse_99pct_energy_symbols"});
-  for (const double beta : {1.0, 0.75, 0.5, 0.35, 0.25, 0.1}) {
-    const double rs = phy::symbol_rate_for_channel_hz(beta, channel_hz);
-    const auto taps = phy::raised_cosine_taps(beta, sps, 12);
+  const std::vector<std::string> headers = {
+      "beta", "symbol_rate", "ook_rate_2ghz", "isi_aligned",
+      "isi_at_5pct_timing_err", "pulse_99pct_energy_symbols"};
+  sim::Table table(headers);
 
-    // ISI with a 5% symbol-timing error: evaluate the pulse on a grid
-    // offset by 0.05 T.
-    const std::size_t center = taps.size() / 2;
-    const int offset = static_cast<int>(0.05 * sps + 0.5);
-    double isi_offset = 0.0;
-    const double peak =
-        taps[center + static_cast<std::size_t>(offset)];
-    for (int k = 1; k <= 10; ++k) {
-      const int left = static_cast<int>(center) + offset - k * sps;
-      const int right = static_cast<int>(center) + offset + k * sps;
-      if (left >= 0) isi_offset += std::abs(taps[static_cast<std::size_t>(left)]);
-      if (right < static_cast<int>(taps.size())) {
-        isi_offset += std::abs(taps[static_cast<std::size_t>(right)]);
+  harness.add("rolloff_sweep", [&](bench::CaseContext& ctx) {
+    table = sim::Table(headers);
+    int points = 0;
+    for (const double beta : {1.0, 0.75, 0.5, 0.35, 0.25, 0.1}) {
+      const double rs = phy::symbol_rate_for_channel_hz(beta, channel_hz);
+      const auto taps = phy::raised_cosine_taps(beta, sps, 12);
+
+      // ISI with a 5% symbol-timing error: evaluate the pulse on a grid
+      // offset by 0.05 T.
+      const std::size_t center = taps.size() / 2;
+      const int offset = static_cast<int>(0.05 * sps + 0.5);
+      double isi_offset = 0.0;
+      const double peak =
+          taps[center + static_cast<std::size_t>(offset)];
+      for (int k = 1; k <= 10; ++k) {
+        const int left = static_cast<int>(center) + offset - k * sps;
+        const int right = static_cast<int>(center) + offset + k * sps;
+        if (left >= 0) {
+          isi_offset += std::abs(taps[static_cast<std::size_t>(left)]);
+        }
+        if (right < static_cast<int>(taps.size())) {
+          isi_offset += std::abs(taps[static_cast<std::size_t>(right)]);
+        }
       }
-    }
-    isi_offset /= peak;
+      isi_offset /= peak;
 
-    // Pulse concentration: symbols until 99% of |p|^2 is captured.
-    double total = 0.0;
-    for (const double tap : taps) total += tap * tap;
-    double acc = taps[center] * taps[center];
-    int spread = 0;
-    while (acc < 0.99 * total && spread < 12 * sps) {
-      ++spread;
-      const std::size_t l = center - static_cast<std::size_t>(spread);
-      const std::size_t r = center + static_cast<std::size_t>(spread);
-      acc += taps[l] * taps[l] + taps[r] * taps[r];
-    }
+      // Pulse concentration: symbols until 99% of |p|^2 is captured.
+      double total = 0.0;
+      for (const double tap : taps) total += tap * tap;
+      double acc = taps[center] * taps[center];
+      int spread = 0;
+      while (acc < 0.99 * total && spread < 12 * sps) {
+        ++spread;
+        const std::size_t l = center - static_cast<std::size_t>(spread);
+        const std::size_t r = center + static_cast<std::size_t>(spread);
+        acc += taps[l] * taps[l] + taps[r] * taps[r];
+      }
 
-    table.add_row({sim::Table::fmt(beta, 2), sim::Table::fmt_rate(rs),
-                   sim::Table::fmt_rate(rs),  // OOK: 1 bit/symbol.
-                   sim::Table::fmt(
-                       phy::isi_at_symbol_instants(taps, sps), 6),
-                   sim::Table::fmt(isi_offset, 3),
-                   sim::Table::fmt(static_cast<double>(spread) / sps, 2)});
-  }
-  if (csv) {
+      table.add_row({sim::Table::fmt(beta, 2), sim::Table::fmt_rate(rs),
+                     sim::Table::fmt_rate(rs),  // OOK: 1 bit/symbol.
+                     sim::Table::fmt(
+                         phy::isi_at_symbol_instants(taps, sps), 6),
+                     sim::Table::fmt(isi_offset, 3),
+                     sim::Table::fmt(static_cast<double>(spread) / sps,
+                                     2)});
+      ++points;
+    }
+    ctx.set_units(points, "roll-offs");
+  });
+
+  if (const int rc = harness.run(); rc != 0) return rc;
+  if (parser.csv()) {
     std::fputs(table.to_csv().c_str(), stdout);
     return 0;
   }

@@ -6,8 +6,8 @@
 // range of each rate tier when the tag aperture (and its link-side gain)
 // grows.
 #include <cstdio>
-#include <cstring>
 
+#include "bench/bench_main.hpp"
 #include "src/core/van_atta.hpp"
 #include "src/phy/rate_table.hpp"
 #include "src/phys/constants.hpp"
@@ -17,35 +17,47 @@
 
 int main(int argc, char** argv) {
   using namespace mmtag;
-  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+  bench::Parser parser("c1_elements",
+                       "element-count scaling of beamwidth, gain, reach");
+  if (!parser.parse(argc, argv)) return parser.exit_code();
+  bench::Harness harness(parser.options());
 
   const phy::RateTable rates = phy::RateTable::mmtag_standard();
-  sim::Table table({"elements", "beamwidth_deg", "mono_gain_db",
-                    "reach_1gbps_ft", "reach_100mbps_ft", "reach_10mbps_ft"});
+  const std::vector<std::string> headers = {
+      "elements", "beamwidth_deg", "mono_gain_db", "reach_1gbps_ft",
+      "reach_100mbps_ft", "reach_10mbps_ft"};
+  sim::Table table(headers);
 
-  for (const int n : {2, 4, 6, 8, 12, 16, 24, 32}) {
-    const core::VanAttaArray array = core::VanAttaArray::with_elements(n);
-    const double beamwidth = array.retro_beamwidth_deg(0.0);
-    const double gain = array.monostatic_gain_db(0.0);
+  harness.add("element_sweep", [&](bench::CaseContext& ctx) {
+    table = sim::Table(headers);
+    int arrays = 0;
+    for (const int n : {2, 4, 6, 8, 12, 16, 24, 32}) {
+      const core::VanAttaArray array = core::VanAttaArray::with_elements(n);
+      const double beamwidth = array.retro_beamwidth_deg(0.0);
+      const double gain = array.monostatic_gain_db(0.0);
 
-    // Scalar budget with the N-element tag's side gains.
-    phys::BackscatterLinkBudget budget =
-        phys::BackscatterLinkBudget::mmtag_prototype();
-    budget.tag_rx_gain_dbi = array.link_side_gain_dbi();
-    budget.tag_tx_gain_dbi = array.link_side_gain_dbi();
+      // Scalar budget with the N-element tag's side gains.
+      phys::BackscatterLinkBudget budget =
+          phys::BackscatterLinkBudget::mmtag_prototype();
+      budget.tag_rx_gain_dbi = array.link_side_gain_dbi();
+      budget.tag_tx_gain_dbi = array.link_side_gain_dbi();
 
-    std::vector<std::string> row = {std::to_string(n),
-                                    sim::Table::fmt(beamwidth, 1),
-                                    sim::Table::fmt(gain, 1)};
-    for (const phy::RateTier& tier : rates.tiers()) {
-      const double reach_m =
-          budget.max_range_m(rates.required_power_dbm(tier));
-      row.push_back(sim::Table::fmt(phys::m_to_feet(reach_m), 1));
+      std::vector<std::string> row = {std::to_string(n),
+                                      sim::Table::fmt(beamwidth, 1),
+                                      sim::Table::fmt(gain, 1)};
+      for (const phy::RateTier& tier : rates.tiers()) {
+        const double reach_m =
+            budget.max_range_m(rates.required_power_dbm(tier));
+        row.push_back(sim::Table::fmt(phys::m_to_feet(reach_m), 1));
+      }
+      table.add_row(std::move(row));
+      ++arrays;
     }
-    table.add_row(std::move(row));
-  }
+    ctx.set_units(arrays, "array sizes");
+  });
 
-  if (csv) {
+  if (const int rc = harness.run(); rc != 0) return rc;
+  if (parser.csv()) {
     std::fputs(table.to_csv().c_str(), stdout);
     return 0;
   }

@@ -8,8 +8,8 @@
 // peak.
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
 
+#include "bench/bench_main.hpp"
 #include "src/baselines/fixed_beam_tag.hpp"
 #include "src/baselines/specular_plate.hpp"
 #include "src/core/van_atta.hpp"
@@ -20,7 +20,10 @@
 
 int main(int argc, char** argv) {
   using namespace mmtag;
-  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+  bench::Parser parser("c2_retrodirectivity",
+                       "monostatic response of three reflector types");
+  if (!parser.parse(argc, argv)) return parser.exit_code();
+  bench::Harness harness(parser.options());
 
   const core::VanAttaArray van_atta = core::VanAttaArray::mmtag_prototype();
   const baselines::FixedBeamTag fixed =
@@ -28,27 +31,38 @@ int main(int argc, char** argv) {
   const baselines::SpecularPlate plate =
       baselines::SpecularPlate::like_mmtag_prototype();
 
-  sim::Table table({"incidence_deg", "van_atta_db", "fixed_beam_db",
-                    "plate_db", "retro_peak_error_deg"});
+  const std::vector<std::string> headers = {
+      "incidence_deg", "van_atta_db", "fixed_beam_db", "plate_db",
+      "retro_peak_error_deg"};
+  sim::Table table(headers);
   std::vector<double> angle_axis;
   sim::Series va_series{"Van Atta", {}, 'v'};
   sim::Series fixed_series{"fixed beam", {}, 'f'};
-  for (const double deg : sim::linspace(-60.0, 60.0, 25)) {
-    const double theta = phys::deg_to_rad(deg);
-    const double peak_deg =
-        phys::rad_to_deg(van_atta.peak_reradiation_direction_rad(theta));
-    const double va_db = van_atta.monostatic_gain_db(theta);
-    const double fixed_db = fixed.monostatic_gain_db(theta);
-    table.add_row({sim::Table::fmt(deg, 0), sim::Table::fmt(va_db, 1),
-                   sim::Table::fmt(fixed_db, 1),
-                   sim::Table::fmt(plate.monostatic_gain_db(theta), 1),
-                   sim::Table::fmt(peak_deg - deg, 2)});
-    angle_axis.push_back(deg);
-    va_series.y.push_back(va_db);
-    fixed_series.y.push_back(std::max(fixed_db, -40.0));  // Clip for scale.
-  }
 
-  if (csv) {
+  harness.add("incidence_sweep", [&](bench::CaseContext& ctx) {
+    table = sim::Table(headers);
+    angle_axis.clear();
+    va_series.y.clear();
+    fixed_series.y.clear();
+    for (const double deg : sim::linspace(-60.0, 60.0, 25)) {
+      const double theta = phys::deg_to_rad(deg);
+      const double peak_deg =
+          phys::rad_to_deg(van_atta.peak_reradiation_direction_rad(theta));
+      const double va_db = van_atta.monostatic_gain_db(theta);
+      const double fixed_db = fixed.monostatic_gain_db(theta);
+      table.add_row({sim::Table::fmt(deg, 0), sim::Table::fmt(va_db, 1),
+                     sim::Table::fmt(fixed_db, 1),
+                     sim::Table::fmt(plate.monostatic_gain_db(theta), 1),
+                     sim::Table::fmt(peak_deg - deg, 2)});
+      angle_axis.push_back(deg);
+      va_series.y.push_back(va_db);
+      fixed_series.y.push_back(std::max(fixed_db, -40.0));  // Clip.
+    }
+    ctx.set_units(angle_axis.size(), "angles");
+  });
+
+  if (const int rc = harness.run(); rc != 0) return rc;
+  if (parser.csv()) {
     std::fputs(table.to_csv().c_str(), stdout);
     return 0;
   }

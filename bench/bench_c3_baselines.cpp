@@ -3,8 +3,8 @@
 // HitchHike (0.3 Mbps), BackFi (5 Mbps @ 3 ft) — all through the same
 // two-way link evaluation at BER 1e-3.
 #include <cstdio>
-#include <cstring>
 
+#include "bench/bench_main.hpp"
 #include "src/baselines/backscatter_system.hpp"
 #include "src/phy/rate_table.hpp"
 #include "src/phys/units.hpp"
@@ -26,25 +26,40 @@ double rate_at(const mmtag::baselines::BackscatterSystem& sys,
 
 int main(int argc, char** argv) {
   using namespace mmtag;
-  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+  bench::Parser parser("c3_baselines",
+                       "rate comparison against cited backscatter systems");
+  if (!parser.parse(argc, argv)) return parser.exit_code();
+  bench::Harness harness(parser.options());
 
-  sim::Table table({"system", "band", "rate_3ft", "rate_4ft", "rate_10ft",
-                    "max_range_ft"});
-  const auto systems = baselines::all_systems();
-  for (std::size_t i = 0; i < systems.size(); ++i) {
-    const auto& sys = systems[i];
-    const bool adaptive = i + 1 == systems.size();  // mmTag is last.
-    const double f_ghz = sys.budget.frequency_hz / 1e9;
-    char band[32];
-    std::snprintf(band, sizeof(band), "%.2f GHz", f_ghz);
-    table.add_row(
-        {sys.name, band,
-         sim::Table::fmt_rate(rate_at(sys, phys::feet_to_m(3.0), adaptive)),
-         sim::Table::fmt_rate(rate_at(sys, phys::feet_to_m(4.0), adaptive)),
-         sim::Table::fmt_rate(rate_at(sys, phys::feet_to_m(10.0), adaptive)),
-         sim::Table::fmt(phys::m_to_feet(sys.max_range_m()), 0)});
-  }
-  if (csv) {
+  const std::vector<std::string> headers = {
+      "system", "band", "rate_3ft", "rate_4ft", "rate_10ft",
+      "max_range_ft"};
+  sim::Table table(headers);
+
+  harness.add("system_table", [&](bench::CaseContext& ctx) {
+    table = sim::Table(headers);
+    const auto systems = baselines::all_systems();
+    for (std::size_t i = 0; i < systems.size(); ++i) {
+      const auto& sys = systems[i];
+      const bool adaptive = i + 1 == systems.size();  // mmTag is last.
+      const double f_ghz = sys.budget.frequency_hz / 1e9;
+      char band[32];
+      std::snprintf(band, sizeof(band), "%.2f GHz", f_ghz);
+      table.add_row(
+          {sys.name, band,
+           sim::Table::fmt_rate(
+               rate_at(sys, phys::feet_to_m(3.0), adaptive)),
+           sim::Table::fmt_rate(
+               rate_at(sys, phys::feet_to_m(4.0), adaptive)),
+           sim::Table::fmt_rate(
+               rate_at(sys, phys::feet_to_m(10.0), adaptive)),
+           sim::Table::fmt(phys::m_to_feet(sys.max_range_m()), 0)});
+    }
+    ctx.set_units(systems.size(), "systems");
+  });
+
+  if (const int rc = harness.run(); rc != 0) return rc;
+  if (parser.csv()) {
     std::fputs(table.to_csv().c_str(), stdout);
     return 0;
   }

@@ -3,9 +3,10 @@
 //
 // Prints energy-per-bit for the mmTag prototype against active radios, and
 // the continuous bit rate each harvesting source can sustain.
+#include <cmath>
 #include <cstdio>
-#include <cstring>
 
+#include "bench/bench_main.hpp"
 #include "src/baselines/active_radio.hpp"
 #include "src/core/energy.hpp"
 #include "src/core/harvester.hpp"
@@ -13,26 +14,24 @@
 
 int main(int argc, char** argv) {
   using namespace mmtag;
-  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+  bench::Parser parser("c4_energy",
+                       "energy per bit and harvested-power budgets");
+  if (!parser.parse(argc, argv)) return parser.exit_code();
+  bench::Harness harness(parser.options());
 
   const core::TagEnergyModel tag = core::TagEnergyModel::mmtag_prototype();
 
-  sim::Table radios({"radio", "dc_power_w", "energy_per_bit_j",
-                     "vs_mmtag_tag"});
-  radios.add_row({"mmTag tag (6 FET switches, random data)",
-                  sim::Table::fmt(tag.modulation_power_w(1e9), 4),
-                  sim::Table::fmt_si(tag.energy_per_bit_j(), 2) + "J",
-                  "1x"});
-  for (const auto& radio : baselines::all_active_radios()) {
-    radios.add_row(
-        {radio.name, sim::Table::fmt(radio.dc_power_w, 3),
-         sim::Table::fmt_si(radio.energy_per_bit_j(), 2) + "J",
-         sim::Table::fmt(radio.energy_per_bit_j() / tag.energy_per_bit_j(),
-                         0) +
-             "x"});
-  }
+  const std::vector<std::string> radio_headers = {
+      "radio", "dc_power_w", "energy_per_bit_j", "vs_mmtag_tag"};
+  const std::vector<std::string> harvest_headers = {"source", "harvested_w",
+                                                    "sustained_rate"};
+  const std::vector<std::string> burst_headers = {
+      "source", "gbps_burst_ms", "recharge_ms", "duty_cycle",
+      "effective_rate"};
+  sim::Table radios(radio_headers);
+  sim::Table harvest(harvest_headers);
+  sim::Table bursts(burst_headers);
 
-  sim::Table harvest({"source", "harvested_w", "sustained_rate"});
   const struct {
     core::HarvestSource source;
     const char* name;
@@ -43,35 +42,60 @@ int main(int argc, char** argv) {
       {core::HarvestSource::kVibration, "vibration (piezo)"},
       {core::HarvestSource::kRfAmbient, "ambient RF (rectenna)"},
   };
-  for (const auto& entry : kSources) {
-    const double power = core::TagEnergyModel::harvested_power_w(entry.source);
-    harvest.add_row({entry.name, sim::Table::fmt_si(power, 2) + "W",
-                     sim::Table::fmt_rate(tag.max_bit_rate_bps(power))});
-  }
 
-  // Burst operation through the 100 uF storage cap: how "Gbps batteryless"
-  // actually runs when the harvester is weaker than the burst load.
-  sim::Table bursts({"source", "gbps_burst_ms", "recharge_ms",
-                     "duty_cycle", "effective_rate"});
-  for (const auto& entry : kSources) {
-    const core::EnergyHarvester cap =
-        core::EnergyHarvester::mmtag_with(entry.source);
-    const double load = tag.modulation_power_w(1e9);
-    const double burst = cap.max_burst_s(load);
-    const double duty = cap.duty_cycle(load);
-    bursts.add_row(
-        {entry.name,
-         std::isinf(burst) ? "cont." : sim::Table::fmt(burst * 1e3, 1),
-         std::isinf(cap.recharge_time_s())
-             ? "never"
-             : sim::Table::fmt(cap.recharge_time_s() * 1e3, 1),
-         sim::Table::fmt(duty, 4),
-         sim::Table::fmt_rate(tag.energy_per_bit_j() > 0.0
-                                  ? cap.effective_throughput_bps(1e9, tag)
-                                  : 0.0)});
-  }
+  harness.add("energy_tables", [&](bench::CaseContext& ctx) {
+    radios = sim::Table(radio_headers);
+    radios.add_row({"mmTag tag (6 FET switches, random data)",
+                    sim::Table::fmt(tag.modulation_power_w(1e9), 4),
+                    sim::Table::fmt_si(tag.energy_per_bit_j(), 2) + "J",
+                    "1x"});
+    int rows = 1;
+    for (const auto& radio : baselines::all_active_radios()) {
+      radios.add_row(
+          {radio.name, sim::Table::fmt(radio.dc_power_w, 3),
+           sim::Table::fmt_si(radio.energy_per_bit_j(), 2) + "J",
+           sim::Table::fmt(
+               radio.energy_per_bit_j() / tag.energy_per_bit_j(), 0) +
+               "x"});
+      ++rows;
+    }
 
-  if (csv) {
+    harvest = sim::Table(harvest_headers);
+    for (const auto& entry : kSources) {
+      const double power =
+          core::TagEnergyModel::harvested_power_w(entry.source);
+      harvest.add_row({entry.name, sim::Table::fmt_si(power, 2) + "W",
+                       sim::Table::fmt_rate(tag.max_bit_rate_bps(power))});
+      ++rows;
+    }
+
+    // Burst operation through the 100 uF storage cap: how "Gbps
+    // batteryless" actually runs when the harvester is weaker than the
+    // burst load.
+    bursts = sim::Table(burst_headers);
+    for (const auto& entry : kSources) {
+      const core::EnergyHarvester cap =
+          core::EnergyHarvester::mmtag_with(entry.source);
+      const double load = tag.modulation_power_w(1e9);
+      const double burst = cap.max_burst_s(load);
+      const double duty = cap.duty_cycle(load);
+      bursts.add_row(
+          {entry.name,
+           std::isinf(burst) ? "cont." : sim::Table::fmt(burst * 1e3, 1),
+           std::isinf(cap.recharge_time_s())
+               ? "never"
+               : sim::Table::fmt(cap.recharge_time_s() * 1e3, 1),
+           sim::Table::fmt(duty, 4),
+           sim::Table::fmt_rate(tag.energy_per_bit_j() > 0.0
+                                    ? cap.effective_throughput_bps(1e9, tag)
+                                    : 0.0)});
+      ++rows;
+    }
+    ctx.set_units(rows, "rows");
+  });
+
+  if (const int rc = harness.run(); rc != 0) return rc;
+  if (parser.csv()) {
     std::fputs(radios.to_csv().c_str(), stdout);
     std::fputs(harvest.to_csv().c_str(), stdout);
     std::fputs(bursts.to_csv().c_str(), stdout);

@@ -11,16 +11,15 @@
 //      bit-identical physics (hard failure below 10x).
 // A third table sweeps fleet size so EXPERIMENTS.md can quote scaling.
 //
-// Flags: --csv, --readers M, --tags N, --seed S, --epochs E.
+// Standard harness flags plus --readers M, --tags N, --epochs E.
 #include <algorithm>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench/bench_main.hpp"
 #include "src/deploy/fleet.hpp"
 #include "src/sim/parallel.hpp"
 #include "src/sim/table.hpp"
@@ -59,22 +58,17 @@ std::string ms(double seconds) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool csv = false;
   int readers = 16;
   int tags = 2000;
   int epochs = 3;
-  std::uint64_t seed = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
-    if (std::strcmp(argv[i], "--readers") == 0 && i + 1 < argc)
-      readers = std::atoi(argv[++i]);
-    if (std::strcmp(argv[i], "--tags") == 0 && i + 1 < argc)
-      tags = std::atoi(argv[++i]);
-    if (std::strcmp(argv[i], "--epochs") == 0 && i + 1 < argc)
-      epochs = std::atoi(argv[++i]);
-    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
-      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-  }
+  bench::Parser parser("d1_fleet",
+                       "fleet-scale inventory: determinism, cache, scaling");
+  parser.add_int("--readers", &readers, "reader count for the headline run");
+  parser.add_int("--tags", &tags, "tag count for the headline run");
+  parser.add_int("--epochs", &epochs, "epochs per fleet run");
+  if (!parser.parse(argc, argv)) return parser.exit_code();
+  bench::Harness harness(parser.options());
+  const std::uint64_t seed = parser.options().seed;
   bool fail = false;
 
   // --- 1. Thread scaling on the headline 16-reader / 2000-tag scenario --
@@ -93,79 +87,97 @@ int main(int argc, char** argv) {
   const deploy::FleetConfig headline =
       fleet_config(readers, tags, side, side, seed, epochs);
 
-  sim::Table scaling({"threads", "wall_s", "sim_reads/s", "tags_read",
-                      "coverage", "p95_ms", "jain", "fingerprint"});
-  std::uint64_t reference = 0;
+  const std::vector<std::string> scaling_headers = {
+      "threads", "wall_s", "sim_reads/s", "tags_read", "coverage",
+      "p95_ms", "jain", "fingerprint"};
+  sim::Table scaling(scaling_headers);
   deploy::FleetResult headline_result;
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    deploy::FleetConfig config = headline;
-    config.threads = grid[i];
-    deploy::FleetResult result = deploy::FleetSimulator(config).run();
-    const std::uint64_t print = deploy::fingerprint(result.stats);
-    if (i == 0) {
-      reference = print;
-    } else if (print != reference) {
-      std::fprintf(stderr,
-                   "FAIL: fingerprint diverged at threads=%d "
-                   "(%s vs %s)\n",
-                   grid[i], hex64(print).c_str(), hex64(reference).c_str());
-      fail = true;
+
+  harness.add("thread_scaling", [&](bench::CaseContext& ctx) {
+    scaling = sim::Table(scaling_headers);
+    std::uint64_t reference = 0;
+    double sim_reads = 0.0;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      deploy::FleetConfig config = headline;
+      config.threads = grid[i];
+      deploy::FleetResult result = deploy::FleetSimulator(config).run();
+      const std::uint64_t print = deploy::fingerprint(result.stats);
+      if (i == 0) {
+        reference = print;
+      } else if (print != reference) {
+        std::fprintf(stderr,
+                     "FAIL: fingerprint diverged at threads=%d "
+                     "(%s vs %s)\n",
+                     grid[i], hex64(print).c_str(),
+                     hex64(reference).c_str());
+        fail = true;
+      }
+      scaling.add_row({std::to_string(grid[i]),
+                       sim::Table::fmt(result.sweep.wall_s, 3),
+                       sim::Table::fmt(result.sweep.units_per_s(), 0),
+                       std::to_string(result.stats.tags_read),
+                       sim::Table::fmt(result.stats.coverage(), 3),
+                       ms(result.stats.latency_p95_s),
+                       sim::Table::fmt(result.stats.jain, 3),
+                       hex64(print)});
+      sim_reads += static_cast<double>(result.sweep.units);
+      if (i + 1 == grid.size()) headline_result = std::move(result);
     }
-    scaling.add_row({std::to_string(grid[i]),
-                     sim::Table::fmt(result.sweep.wall_s, 3),
-                     sim::Table::fmt(result.sweep.units_per_s(), 0),
-                     std::to_string(result.stats.tags_read),
-                     sim::Table::fmt(result.stats.coverage(), 3),
-                     ms(result.stats.latency_p95_s),
-                     sim::Table::fmt(result.stats.jain, 3),
-                     hex64(print)});
-    if (i + 1 == grid.size()) headline_result = std::move(result);
-  }
+    ctx.set_units(sim_reads, "sim reads");
+  });
 
   // --- 2. Link cache vs uncached baseline (static scenario) -------------
   // Channelized keeps every cell on air the full epoch, so polling hammers
   // the link budgets — the workload the cache exists for. Physics must be
   // bit-identical either way; only the raytrace count may differ.
-  deploy::FleetConfig cache_scenario =
-      fleet_config(4, 400, 8.0, 8.0, seed, 2);
-  cache_scenario.epoch_duration_s = 0.05;
-  cache_scenario.coordination.policy =
-      deploy::CoordinationPolicy::kChannelized;
-  deploy::FleetConfig uncached_scenario = cache_scenario;
-  uncached_scenario.use_link_cache = false;
+  const std::vector<std::string> cache_headers = {
+      "mode", "raytrace_evals", "cache_hit_rate", "wall_s", "fingerprint"};
+  sim::Table cache_table(cache_headers);
+  double reduction = 0.0;
 
-  const deploy::FleetResult cached =
-      deploy::FleetSimulator(cache_scenario).run();
-  const deploy::FleetResult uncached =
-      deploy::FleetSimulator(uncached_scenario).run();
+  harness.add("cache_vs_uncached", [&](bench::CaseContext& ctx) {
+    deploy::FleetConfig cache_scenario =
+        fleet_config(4, 400, 8.0, 8.0, seed, 2);
+    cache_scenario.epoch_duration_s = 0.05;
+    cache_scenario.coordination.policy =
+        deploy::CoordinationPolicy::kChannelized;
+    deploy::FleetConfig uncached_scenario = cache_scenario;
+    uncached_scenario.use_link_cache = false;
 
-  sim::Table cache_table({"mode", "raytrace_evals", "cache_hit_rate",
-                          "wall_s", "fingerprint"});
-  cache_table.add_row({"cached",
-                       std::to_string(cached.stats.raytrace_evals),
-                       sim::Table::fmt(cached.stats.cache_hit_rate(), 3),
-                       sim::Table::fmt(cached.sweep.wall_s, 3),
-                       hex64(deploy::fingerprint(cached.stats))});
-  cache_table.add_row({"uncached",
-                       std::to_string(uncached.stats.raytrace_evals),
-                       sim::Table::fmt(uncached.stats.cache_hit_rate(), 3),
-                       sim::Table::fmt(uncached.sweep.wall_s, 3),
-                       hex64(deploy::fingerprint(uncached.stats))});
-  const double reduction =
-      cached.stats.raytrace_evals > 0
-          ? static_cast<double>(uncached.stats.raytrace_evals) /
-                static_cast<double>(cached.stats.raytrace_evals)
-          : 0.0;
-  if (deploy::fingerprint(cached.stats) !=
-      deploy::fingerprint(uncached.stats)) {
-    std::fprintf(stderr, "FAIL: cache changed the physics\n");
-    fail = true;
-  }
-  if (reduction < 10.0) {
-    std::fprintf(stderr, "FAIL: raytrace reduction %.1fx < 10x\n",
-                 reduction);
-    fail = true;
-  }
+    const deploy::FleetResult cached =
+        deploy::FleetSimulator(cache_scenario).run();
+    const deploy::FleetResult uncached =
+        deploy::FleetSimulator(uncached_scenario).run();
+
+    cache_table = sim::Table(cache_headers);
+    cache_table.add_row({"cached",
+                         std::to_string(cached.stats.raytrace_evals),
+                         sim::Table::fmt(cached.stats.cache_hit_rate(), 3),
+                         sim::Table::fmt(cached.sweep.wall_s, 3),
+                         hex64(deploy::fingerprint(cached.stats))});
+    cache_table.add_row(
+        {"uncached", std::to_string(uncached.stats.raytrace_evals),
+         sim::Table::fmt(uncached.stats.cache_hit_rate(), 3),
+         sim::Table::fmt(uncached.sweep.wall_s, 3),
+         hex64(deploy::fingerprint(uncached.stats))});
+    reduction =
+        cached.stats.raytrace_evals > 0
+            ? static_cast<double>(uncached.stats.raytrace_evals) /
+                  static_cast<double>(cached.stats.raytrace_evals)
+            : 0.0;
+    if (deploy::fingerprint(cached.stats) !=
+        deploy::fingerprint(uncached.stats)) {
+      std::fprintf(stderr, "FAIL: cache changed the physics\n");
+      fail = true;
+    }
+    if (reduction < 10.0) {
+      std::fprintf(stderr, "FAIL: raytrace reduction %.1fx < 10x\n",
+                   reduction);
+      fail = true;
+    }
+    ctx.set_units(static_cast<double>(uncached.stats.raytrace_evals),
+                  "raytrace evals");
+  });
 
   // --- 3. Fleet size sweep (hw threads) ---------------------------------
   struct SizePoint {
@@ -180,29 +192,41 @@ int main(int argc, char** argv) {
       {16, 2000, 16.0, 16.0, 0.0},
       {16, 2000, 16.0, 16.0, 0.1},  // 10% of tags walk between epochs.
   };
-  sim::Table sweep({"readers", "tags", "mobile", "wall_s", "coverage",
-                    "p50_ms", "p95_ms", "p99_ms", "goodput_mean", "jain",
-                    "util", "cache_hit", "handoffs"});
-  for (const SizePoint& p : sizes) {
-    deploy::FleetConfig config =
-        fleet_config(p.readers, p.tags, p.w, p.h, seed, epochs);
-    config.mobile_fraction = p.mobile;
-    const deploy::FleetResult result =
-        deploy::FleetSimulator(config).run();
-    const deploy::FleetStats& s = result.stats;
-    sweep.add_row({std::to_string(p.readers), std::to_string(p.tags),
-                   sim::Table::fmt(p.mobile, 1),
-                   sim::Table::fmt(result.sweep.wall_s, 3),
-                   sim::Table::fmt(s.coverage(), 3), ms(s.latency_p50_s),
-                   ms(s.latency_p95_s), ms(s.latency_p99_s),
-                   sim::Table::fmt_rate(s.goodput_mean_bps),
-                   sim::Table::fmt(s.jain, 3),
-                   sim::Table::fmt(s.reader_utilization, 3),
-                   sim::Table::fmt(s.cache_hit_rate(), 3),
-                   std::to_string(s.handoffs)});
-  }
+  const std::vector<std::string> sweep_headers = {
+      "readers", "tags", "mobile", "wall_s", "coverage", "p50_ms",
+      "p95_ms", "p99_ms", "goodput_mean", "jain", "util", "cache_hit",
+      "handoffs"};
+  sim::Table sweep(sweep_headers);
 
-  if (csv) {
+  harness.add("size_sweep", [&](bench::CaseContext& ctx) {
+    sweep = sim::Table(sweep_headers);
+    double sim_reads = 0.0;
+    for (const SizePoint& p : sizes) {
+      deploy::FleetConfig config =
+          fleet_config(p.readers, p.tags, p.w, p.h, seed, epochs);
+      config.mobile_fraction = p.mobile;
+      const deploy::FleetResult result =
+          deploy::FleetSimulator(config).run();
+      const deploy::FleetStats& s = result.stats;
+      sweep.add_row({std::to_string(p.readers), std::to_string(p.tags),
+                     sim::Table::fmt(p.mobile, 1),
+                     sim::Table::fmt(result.sweep.wall_s, 3),
+                     sim::Table::fmt(s.coverage(), 3), ms(s.latency_p50_s),
+                     ms(s.latency_p95_s), ms(s.latency_p99_s),
+                     sim::Table::fmt_rate(s.goodput_mean_bps),
+                     sim::Table::fmt(s.jain, 3),
+                     sim::Table::fmt(s.reader_utilization, 3),
+                     sim::Table::fmt(s.cache_hit_rate(), 3),
+                     std::to_string(s.handoffs)});
+      sim_reads += static_cast<double>(result.sweep.units);
+    }
+    ctx.set_units(sim_reads, "sim reads");
+  });
+
+  const int rc = harness.run();
+  if (rc != 0) return rc;
+
+  if (parser.csv()) {
     std::fputs(scaling.to_csv().c_str(), stdout);
     std::fputs(cache_table.to_csv().c_str(), stdout);
     std::fputs(sweep.to_csv().c_str(), stdout);

@@ -3,8 +3,8 @@
 // should drop from its LOS rate to the wall-bounce rate and back, never to
 // zero.
 #include <cstdio>
-#include <cstring>
 
+#include "bench/bench_main.hpp"
 #include "src/channel/mobility.hpp"
 #include "src/channel/raytrace.hpp"
 #include "src/core/tag.hpp"
@@ -16,7 +16,10 @@
 
 int main(int argc, char** argv) {
   using namespace mmtag;
-  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+  bench::Parser parser("e1_nlos",
+                       "link vs time while a blocker crosses the LOS");
+  if (!parser.parse(argc, argv)) return parser.exit_code();
+  bench::Harness harness(parser.options());
 
   const phy::RateTable rates = phy::RateTable::mmtag_standard();
   const core::MmTag tag = core::MmTag::prototype_at(core::Pose{{0, 0}, 0.0});
@@ -27,34 +30,46 @@ int main(int argc, char** argv) {
   // corridor at 1 m/s, crossing the LOS around t = 0.45 s.
   const channel::LinearMobility walker({0.45, -0.45}, {0.0, 1.0});
 
-  sim::Table table({"t_s", "blocker_y", "path", "power_dbm", "rate"});
+  const std::vector<std::string> headers = {"t_s", "blocker_y", "path",
+                                            "power_dbm", "rate"};
+  sim::Table table(headers);
   int nlos_steps = 0;
   int dead_steps = 0;
-  for (int step = 0; step <= 18; ++step) {
-    const double t = step * 0.05;
-    const channel::Vec2 person = walker.position(t);
-    channel::Environment env;
-    env.add_wall(channel::Wall{channel::Segment{{-2, 0.3}, {2, 0.3}}, 0.15});
-    env.add_obstacle(channel::Obstacle{
-        channel::Segment{{person.x, person.y - 0.1},
-                         {person.x, person.y + 0.1}}});
 
-    // The reader re-aims at the strongest path each step (beam tracking).
-    const auto paths = channel::trace_paths(env, reader.pose().position,
-                                            tag.pose().position);
-    reader.steer_to_world(paths.front().departure_rad);
-    const auto link = reader.evaluate_link(tag, env, rates);
+  harness.add("blocker_walk", [&](bench::CaseContext& ctx) {
+    table = sim::Table(headers);
+    nlos_steps = 0;
+    dead_steps = 0;
+    for (int step = 0; step <= 18; ++step) {
+      const double t = step * 0.05;
+      const channel::Vec2 person = walker.position(t);
+      channel::Environment env;
+      env.add_wall(
+          channel::Wall{channel::Segment{{-2, 0.3}, {2, 0.3}}, 0.15});
+      env.add_obstacle(channel::Obstacle{
+          channel::Segment{{person.x, person.y - 0.1},
+                           {person.x, person.y + 0.1}}});
 
-    const bool nlos = link.path.kind == channel::PathKind::kReflected;
-    if (nlos) ++nlos_steps;
-    if (link.achievable_rate_bps == 0.0) ++dead_steps;
-    table.add_row({sim::Table::fmt(t, 2), sim::Table::fmt(person.y, 2),
-                   nlos ? "NLOS(wall)" : "LOS",
-                   sim::Table::fmt(link.received_power_dbm, 1),
-                   sim::Table::fmt_rate(link.achievable_rate_bps)});
-  }
+      // The reader re-aims at the strongest path each step (beam
+      // tracking).
+      const auto paths = channel::trace_paths(env, reader.pose().position,
+                                              tag.pose().position);
+      reader.steer_to_world(paths.front().departure_rad);
+      const auto link = reader.evaluate_link(tag, env, rates);
 
-  if (csv) {
+      const bool nlos = link.path.kind == channel::PathKind::kReflected;
+      if (nlos) ++nlos_steps;
+      if (link.achievable_rate_bps == 0.0) ++dead_steps;
+      table.add_row({sim::Table::fmt(t, 2), sim::Table::fmt(person.y, 2),
+                     nlos ? "NLOS(wall)" : "LOS",
+                     sim::Table::fmt(link.received_power_dbm, 1),
+                     sim::Table::fmt_rate(link.achievable_rate_bps)});
+    }
+    ctx.set_units(19, "time steps");
+  });
+
+  if (const int rc = harness.run(); rc != 0) return rc;
+  if (parser.csv()) {
     std::fputs(table.to_csv().c_str(), stdout);
     return 0;
   }

@@ -4,8 +4,8 @@
 // "directionality property of mmWave" must buy before full-duplex tricks
 // become unnecessary.
 #include <cstdio>
-#include <cstring>
 
+#include "bench/bench_main.hpp"
 #include "src/channel/environment.hpp"
 #include "src/core/tag.hpp"
 #include "src/phy/rate_table.hpp"
@@ -17,7 +17,10 @@
 
 int main(int argc, char** argv) {
   using namespace mmtag;
-  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+  bench::Parser parser("e3_selfint",
+                       "residual self-interference vs TX/RX isolation");
+  if (!parser.parse(argc, argv)) return parser.exit_code();
+  bench::Harness harness(parser.options());
 
   // Tag power at 4 ft from the Fig. 7 model.
   const phy::RateTable rates = phy::RateTable::mmtag_standard();
@@ -29,26 +32,38 @@ int main(int argc, char** argv) {
   const double tag_dbm = link.received_power_dbm;
   const double tx_dbm = reader.params().tx_power_dbm;
 
-  sim::Table table({"isolation_db", "residual_dbm", "sinr_2ghz_db",
-                    "sinr_20mhz_db", "rate"});
-  for (double isolation = 20.0; isolation <= 100.0; isolation += 10.0) {
-    reader::SelfInterferenceModel::Params p;
-    p.antenna_isolation_db = isolation;
-    const reader::SelfInterferenceModel model(p);
-    table.add_row(
-        {sim::Table::fmt(isolation, 0),
-         sim::Table::fmt(model.residual_dbm(tx_dbm), 1),
-         sim::Table::fmt(
-             model.sinr_db(tag_dbm, tx_dbm, phys::ghz(2.0), rates.noise()),
-             1),
-         sim::Table::fmt(
-             model.sinr_db(tag_dbm, tx_dbm, phys::mhz(20.0), rates.noise()),
-             1),
-         sim::Table::fmt_rate(
-             model.achievable_rate_bps(tag_dbm, tx_dbm, rates))});
-  }
+  const std::vector<std::string> headers = {
+      "isolation_db", "residual_dbm", "sinr_2ghz_db", "sinr_20mhz_db",
+      "rate"};
+  sim::Table table(headers);
 
-  if (csv) {
+  harness.add("isolation_sweep", [&](bench::CaseContext& ctx) {
+    table = sim::Table(headers);
+    int points = 0;
+    for (double isolation = 20.0; isolation <= 100.0; isolation += 10.0) {
+      reader::SelfInterferenceModel::Params p;
+      p.antenna_isolation_db = isolation;
+      const reader::SelfInterferenceModel model(p);
+      table.add_row(
+          {sim::Table::fmt(isolation, 0),
+           sim::Table::fmt(model.residual_dbm(tx_dbm), 1),
+           sim::Table::fmt(
+               model.sinr_db(tag_dbm, tx_dbm, phys::ghz(2.0),
+                             rates.noise()),
+               1),
+           sim::Table::fmt(
+               model.sinr_db(tag_dbm, tx_dbm, phys::mhz(20.0),
+                             rates.noise()),
+               1),
+           sim::Table::fmt_rate(
+               model.achievable_rate_bps(tag_dbm, tx_dbm, rates))});
+      ++points;
+    }
+    ctx.set_units(points, "isolation points");
+  });
+
+  if (const int rc = harness.run(); rc != 0) return rc;
+  if (parser.csv()) {
     std::fputs(table.to_csv().c_str(), stdout);
     return 0;
   }

@@ -4,14 +4,13 @@
 // measured BER against the coherent and noncoherent closed forms, plus the
 // frame error rate through the full Manchester+CRC receive chain.
 //
-// The SNR grid is sharded across a sim::ThreadPool (--threads N or
-// MMTAG_THREADS; defaults to hardware concurrency) with one deterministic
-// RNG stream per point, so the numbers are identical at any thread count.
+// The SNR grid is sharded across a sim::ThreadPool (--threads N; defaults
+// to hardware concurrency) with one deterministic RNG stream per point, so
+// the numbers are identical at any thread count.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <vector>
 
+#include "bench/bench_main.hpp"
 #include "src/phy/ber.hpp"
 #include "src/sim/link_sim.hpp"
 #include "src/sim/parallel.hpp"
@@ -20,25 +19,31 @@
 
 int main(int argc, char** argv) {
   using namespace mmtag;
-  bool csv = false;
-  int threads = 0;  // 0 -> default_thread_count().
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
-    }
-  }
+  bench::Parser parser("e4_ber",
+                       "waveform-level OOK BER/FER vs the analytic forms");
+  if (!parser.parse(argc, argv)) return parser.exit_code();
+  bench::Harness harness(parser.options());
 
   sim::MonteCarloLink::Params params;
   params.min_bits = 100'000;
   params.max_bits = 100'000;  // Equal-cost points shard evenly.
   const sim::MonteCarloLink link{params};
-  sim::ThreadPool pool(threads);
+  sim::ThreadPool pool = bench::make_pool(parser.options());
 
   const std::vector<double> snrs = sim::linspace(0.0, 12.0, 7);
-  const sim::BerSweepResult ber = link.measure_ber_sweep(snrs, 3000, pool);
-  const sim::FerSweepResult fer =
-      link.measure_fer_sweep(snrs, 60, 96, 3001, pool);
+  sim::BerSweepResult ber;
+  sim::FerSweepResult fer;
+
+  harness.add("ber_sweep", [&](bench::CaseContext& ctx) {
+    ber = link.measure_ber_sweep(snrs, ctx.seed() + 2999, pool);
+    ctx.set_units(ber.stats.units, "bits");
+  });
+  harness.add("fer_sweep", [&](bench::CaseContext& ctx) {
+    fer = link.measure_fer_sweep(snrs, 60, 96, ctx.seed() + 3000, pool);
+    ctx.set_units(fer.stats.units, "frames");
+  });
+
+  if (const int rc = harness.run(); rc != 0) return rc;
 
   sim::Table table({"snr_db", "ber_measured", "ber_coherent_q",
                     "ber_noncoherent", "fer_96bit"});
@@ -55,7 +60,7 @@ int main(int argc, char** argv) {
                    noncoherent, sim::Table::fmt(fer.points[i].fer(), 2)});
   }
 
-  if (csv) {
+  if (parser.csv()) {
     std::fputs(table.to_csv().c_str(), stdout);
     return 0;
   }

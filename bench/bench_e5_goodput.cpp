@@ -6,14 +6,13 @@
 // Fig. 7 range sweep and reports the *goodput* — plus the transfer time of
 // a 1 MB sensor blob, the number an application plans around.
 //
-// The range grid is evaluated on the parallel sweep engine (--threads N or
-// MMTAG_THREADS); every point is an independent link evaluation.
+// The range grid is evaluated on the parallel sweep engine (--threads N);
+// every point is an independent link evaluation.
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <vector>
 
+#include "bench/bench_main.hpp"
 #include "src/channel/environment.hpp"
 #include "src/core/tag.hpp"
 #include "src/net/session.hpp"
@@ -36,14 +35,10 @@ struct RangePoint {
 
 int main(int argc, char** argv) {
   using namespace mmtag;
-  bool csv = false;
-  int threads = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
-    }
-  }
+  bench::Parser parser("e5_goodput",
+                       "application goodput and 1 MB transfer time vs range");
+  if (!parser.parse(argc, argv)) return parser.exit_code();
+  bench::Harness harness(parser.options());
 
   const channel::Environment env;
   const phy::RateTable rates = phy::RateTable::mmtag_standard();
@@ -52,22 +47,30 @@ int main(int argc, char** argv) {
   constexpr std::size_t kMegabyte = 8ull * 1024 * 1024;
 
   const std::vector<double> feet_grid = sim::linspace(2.0, 12.0, 11);
-  sim::ThreadPool pool(threads);
+  sim::ThreadPool pool = bench::make_pool(parser.options());
   sim::SweepStats stats;
-  const auto points = sim::parallel_sweep(
-      pool, feet_grid.size(),
-      [&](std::size_t i) {
-        RangePoint point;
-        point.feet = feet_grid[i];
-        const double d = phys::feet_to_m(point.feet);
-        const auto reader = reader::MmWaveReader::prototype_at(
-            core::Pose{{d, 0.0}, phys::kPi});
-        const auto link = reader.evaluate_link(tag, env, rates);
-        point.report = session.analyze(link, kMegabyte);
-        point.transfer_s = session.transfer_time_s(link, kMegabyte);
-        return point;
-      },
-      &stats);
+  std::vector<RangePoint> points;
+
+  harness.add("range_sweep", [&](bench::CaseContext& ctx) {
+    stats = sim::SweepStats{};
+    points = sim::parallel_sweep(
+        pool, feet_grid.size(),
+        [&](std::size_t i) {
+          RangePoint point;
+          point.feet = feet_grid[i];
+          const double d = phys::feet_to_m(point.feet);
+          const auto reader = reader::MmWaveReader::prototype_at(
+              core::Pose{{d, 0.0}, phys::kPi});
+          const auto link = reader.evaluate_link(tag, env, rates);
+          point.report = session.analyze(link, kMegabyte);
+          point.transfer_s = session.transfer_time_s(link, kMegabyte);
+          return point;
+        },
+        &stats);
+    ctx.set_units(points.size(), "range points");
+  });
+
+  if (const int rc = harness.run(); rc != 0) return rc;
 
   sim::Table table({"range_ft", "tier", "snr_db", "chip_ber",
                     "frame_success", "goodput", "1MB_transfer"});
@@ -85,7 +88,7 @@ int main(int argc, char** argv) {
              ? "never"
              : sim::Table::fmt(point.transfer_s * 1e3, 1) + " ms"});
   }
-  if (csv) {
+  if (parser.csv()) {
     std::fputs(table.to_csv().c_str(), stdout);
     return 0;
   }

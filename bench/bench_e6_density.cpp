@@ -9,8 +9,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 
+#include "bench/bench_main.hpp"
 #include "src/channel/environment.hpp"
 #include "src/core/tag.hpp"
 #include "src/phys/constants.hpp"
@@ -21,7 +21,10 @@
 
 int main(int argc, char** argv) {
   using namespace mmtag;
-  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+  bench::Parser parser("e6_density",
+                       "coexistence of N simultaneous readers in a room");
+  if (!parser.parse(argc, argv)) return parser.exit_code();
+  bench::Harness harness(parser.options());
 
   const channel::Environment office = channel::Environment::office_room();
   const phy::RateTable rates = phy::RateTable::mmtag_standard();
@@ -32,59 +35,70 @@ int main(int argc, char** argv) {
   //    filter buys ~30 dB of adjacent-channel rejection,
   //  * TDM: readers take turns; no interference but 1/N airtime.
   constexpr double kAdjacentChannelRejectionDb = 30.0;
-  sim::Table table({"readers", "worst_interf_dbm", "worst_rate_same_ch",
-                    "worst_rate_channelized", "per_reader_rate_tdm"});
-  for (const int n : {1, 2, 3, 4, 6, 8, 12}) {
-    // Readers spaced around a circle at the room centre, each looking
-    // outward at its own tag 4 ft away.
-    std::vector<reader::MmWaveReader> readers;
-    std::vector<double> tag_power(static_cast<std::size_t>(n));
-    const channel::Vec2 center{2.5, 2.0};
-    const double ring = 0.8;
-    for (int i = 0; i < n; ++i) {
-      const double bearing = phys::kTwoPi * i / n;
-      const channel::Vec2 pos{center.x + ring * std::cos(bearing),
-                              center.y + ring * std::sin(bearing)};
-      reader::MmWaveReader reader =
-          reader::MmWaveReader::prototype_at(core::Pose{pos, bearing});
-      reader.steer_to_world(bearing);
-      // The reader's own tag sits 4 ft out along its boresight.
-      const double d = phys::feet_to_m(4.0);
-      const channel::Vec2 tag_pos{pos.x + d * std::cos(bearing),
-                                  pos.y + d * std::sin(bearing)};
-      const core::MmTag tag = core::MmTag::prototype_at(
-          core::Pose{tag_pos, phys::wrap_angle_rad(bearing + phys::kPi)});
-      tag_power[static_cast<std::size_t>(i)] =
-          reader.evaluate_link(tag, office, rates).received_power_dbm;
-      readers.push_back(std::move(reader));
-    }
+  const std::vector<std::string> headers = {
+      "readers", "worst_interf_dbm", "worst_rate_same_ch",
+      "worst_rate_channelized", "per_reader_rate_tdm"};
+  sim::Table table(headers);
 
-    double worst_interf = -300.0;
-    double worst_same = 1e18;
-    double worst_channelized = 1e18;
-    double worst_tdm = 1e18;
-    for (std::size_t v = 0; v < readers.size(); ++v) {
-      const double interference = readers.size() > 1
-          ? reader::total_interference_dbm(readers, v, office)
-          : -300.0;
-      worst_interf = std::max(worst_interf, interference);
-      worst_same = std::min(worst_same, reader::sinr_limited_rate_bps(
-          tag_power[v], interference, rates));
-      worst_channelized = std::min(
-          worst_channelized,
-          reader::sinr_limited_rate_bps(
-              tag_power[v], interference - kAdjacentChannelRejectionDb,
-              rates));
-      worst_tdm = std::min(
-          worst_tdm,
-          rates.achievable_rate_bps(tag_power[v]) / n);
+  harness.add("density_sweep", [&](bench::CaseContext& ctx) {
+    table = sim::Table(headers);
+    int total_readers = 0;
+    for (const int n : {1, 2, 3, 4, 6, 8, 12}) {
+      // Readers spaced around a circle at the room centre, each looking
+      // outward at its own tag 4 ft away.
+      std::vector<reader::MmWaveReader> readers;
+      std::vector<double> tag_power(static_cast<std::size_t>(n));
+      const channel::Vec2 center{2.5, 2.0};
+      const double ring = 0.8;
+      for (int i = 0; i < n; ++i) {
+        const double bearing = phys::kTwoPi * i / n;
+        const channel::Vec2 pos{center.x + ring * std::cos(bearing),
+                                center.y + ring * std::sin(bearing)};
+        reader::MmWaveReader reader =
+            reader::MmWaveReader::prototype_at(core::Pose{pos, bearing});
+        reader.steer_to_world(bearing);
+        // The reader's own tag sits 4 ft out along its boresight.
+        const double d = phys::feet_to_m(4.0);
+        const channel::Vec2 tag_pos{pos.x + d * std::cos(bearing),
+                                    pos.y + d * std::sin(bearing)};
+        const core::MmTag tag = core::MmTag::prototype_at(
+            core::Pose{tag_pos, phys::wrap_angle_rad(bearing + phys::kPi)});
+        tag_power[static_cast<std::size_t>(i)] =
+            reader.evaluate_link(tag, office, rates).received_power_dbm;
+        readers.push_back(std::move(reader));
+      }
+
+      double worst_interf = -300.0;
+      double worst_same = 1e18;
+      double worst_channelized = 1e18;
+      double worst_tdm = 1e18;
+      for (std::size_t v = 0; v < readers.size(); ++v) {
+        const double interference = readers.size() > 1
+            ? reader::total_interference_dbm(readers, v, office)
+            : -300.0;
+        worst_interf = std::max(worst_interf, interference);
+        worst_same = std::min(worst_same, reader::sinr_limited_rate_bps(
+            tag_power[v], interference, rates));
+        worst_channelized = std::min(
+            worst_channelized,
+            reader::sinr_limited_rate_bps(
+                tag_power[v], interference - kAdjacentChannelRejectionDb,
+                rates));
+        worst_tdm = std::min(
+            worst_tdm,
+            rates.achievable_rate_bps(tag_power[v]) / n);
+      }
+      table.add_row({std::to_string(n), sim::Table::fmt(worst_interf, 1),
+                     sim::Table::fmt_rate(worst_same),
+                     sim::Table::fmt_rate(worst_channelized),
+                     sim::Table::fmt_rate(worst_tdm)});
+      total_readers += n;
     }
-    table.add_row({std::to_string(n), sim::Table::fmt(worst_interf, 1),
-                   sim::Table::fmt_rate(worst_same),
-                   sim::Table::fmt_rate(worst_channelized),
-                   sim::Table::fmt_rate(worst_tdm)});
-  }
-  if (csv) {
+    ctx.set_units(total_readers, "reader placements");
+  });
+
+  if (const int rc = harness.run(); rc != 0) return rc;
+  if (parser.csv()) {
     std::fputs(table.to_csv().c_str(), stdout);
     return 0;
   }

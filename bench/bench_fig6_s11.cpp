@@ -4,8 +4,8 @@
 // Paper readings: off-state dip of -15 dB at 24 GHz; on-state around -5 dB
 // at the carrier. Run with --csv for machine-readable output.
 #include <cstdio>
-#include <cstring>
 
+#include "bench/bench_main.hpp"
 #include "src/em/patch_element.hpp"
 #include "src/phys/constants.hpp"
 #include "src/phys/units.hpp"
@@ -15,24 +15,39 @@
 
 int main(int argc, char** argv) {
   using namespace mmtag;
-  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+  bench::Parser parser("fig6_s11",
+                       "element S11 vs frequency, switch off/on (Fig. 6)");
+  if (!parser.parse(argc, argv)) return parser.exit_code();
+  bench::Harness harness(parser.options());
 
   const em::PatchElement element = em::PatchElement::mmtag();
-  sim::Table table({"freq_ghz", "s11_off_db", "s11_on_db"});
+  const std::vector<std::string> headers = {"freq_ghz", "s11_off_db",
+                                            "s11_on_db"};
+  sim::Table table(headers);
   std::vector<double> freq_axis;
   sim::Series off_series{"switch off", {}, 'o'};
   sim::Series on_series{"switch on", {}, 'x'};
-  for (const double f_ghz : sim::linspace(23.5, 24.5, 41)) {
-    const double f = phys::ghz(f_ghz);
-    const double off = element.s11_db(em::SwitchState::kOff, f);
-    const double on = element.s11_db(em::SwitchState::kOn, f);
-    table.add_row({sim::Table::fmt(f_ghz, 3), sim::Table::fmt(off),
-                   sim::Table::fmt(on)});
-    freq_axis.push_back(f_ghz);
-    off_series.y.push_back(off);
-    on_series.y.push_back(on);
-  }
-  if (csv) {
+
+  harness.add("s11_sweep", [&](bench::CaseContext& ctx) {
+    table = sim::Table(headers);
+    freq_axis.clear();
+    off_series.y.clear();
+    on_series.y.clear();
+    for (const double f_ghz : sim::linspace(23.5, 24.5, 41)) {
+      const double f = phys::ghz(f_ghz);
+      const double off = element.s11_db(em::SwitchState::kOff, f);
+      const double on = element.s11_db(em::SwitchState::kOn, f);
+      table.add_row({sim::Table::fmt(f_ghz, 3), sim::Table::fmt(off),
+                     sim::Table::fmt(on)});
+      freq_axis.push_back(f_ghz);
+      off_series.y.push_back(off);
+      on_series.y.push_back(on);
+    }
+    ctx.set_units(freq_axis.size(), "frequency points");
+  });
+
+  if (const int rc = harness.run(); rc != 0) return rc;
+  if (parser.csv()) {
     std::fputs(table.to_csv().c_str(), stdout);
     return 0;
   }

@@ -6,12 +6,11 @@
 // floors near -76 / -86 / -96 dBm.
 //
 // Both the 21-point range sweep and the per-tier reach bisections run on
-// the parallel sweep engine (--threads N or MMTAG_THREADS).
+// the parallel sweep engine (--threads N).
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <vector>
 
+#include "bench/bench_main.hpp"
 #include "src/channel/environment.hpp"
 #include "src/core/tag.hpp"
 #include "src/phy/rate_table.hpp"
@@ -37,37 +36,65 @@ struct RangePoint {
 
 int main(int argc, char** argv) {
   using namespace mmtag;
-  bool csv = false;
-  int threads = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
-    }
-  }
+  bench::Parser parser("fig7_range",
+                       "tag power, noise floors, and rate vs range (Fig. 7)");
+  if (!parser.parse(argc, argv)) return parser.exit_code();
+  bench::Harness harness(parser.options());
 
   const channel::Environment env;  // Free-space bench, like the paper's lab.
   const phy::RateTable rates = phy::RateTable::mmtag_standard();
   const core::MmTag tag = core::MmTag::prototype_at(core::Pose{{0, 0}, 0.0});
   const phys::NoiseModel noise = phys::NoiseModel::mmtag_reader();
-  sim::ThreadPool pool(threads);
+  sim::ThreadPool pool = bench::make_pool(parser.options());
 
   const std::vector<double> feet_grid = sim::linspace(2.0, 12.0, 21);
   sim::SweepStats stats;
-  const auto points = sim::parallel_sweep(
-      pool, feet_grid.size(),
-      [&](std::size_t i) {
-        RangePoint point;
-        point.feet = feet_grid[i];
-        const auto reader = reader::MmWaveReader::prototype_at(
-            core::Pose{{phys::feet_to_m(point.feet), 0.0}, phys::kPi});
-        const auto link = reader.evaluate_link(tag, env, rates);
-        point.power_dbm = link.received_power_dbm;
-        point.depth_db = link.modulation_depth_db;
-        point.rate_bps = link.achievable_rate_bps;
-        return point;
-      },
-      &stats);
+  std::vector<RangePoint> points;
+  const auto& tiers = rates.tiers();
+  std::vector<double> reaches;
+
+  harness.add("range_sweep", [&](bench::CaseContext& ctx) {
+    stats = sim::SweepStats{};
+    points = sim::parallel_sweep(
+        pool, feet_grid.size(),
+        [&](std::size_t i) {
+          RangePoint point;
+          point.feet = feet_grid[i];
+          const auto reader = reader::MmWaveReader::prototype_at(
+              core::Pose{{phys::feet_to_m(point.feet), 0.0}, phys::kPi});
+          const auto link = reader.evaluate_link(tag, env, rates);
+          point.power_dbm = link.received_power_dbm;
+          point.depth_db = link.modulation_depth_db;
+          point.rate_bps = link.achievable_rate_bps;
+          return point;
+        },
+        &stats);
+    ctx.set_units(points.size(), "range points");
+  });
+
+  // The crossover ranges behind the figure's rate labels: one bisection
+  // per tier, tiers sharded across the pool.
+  harness.add("tier_reach_bisect", [&](bench::CaseContext& ctx) {
+    reaches = sim::parallel_sweep(
+        pool, tiers.size(), [&](std::size_t t) {
+          const double required = rates.required_power_dbm(tiers[t]);
+          // Use the circuit-model reader for consistency with the table
+          // above: bisect the rate boundary on the evaluated link.
+          double lo = 0.1, hi = 30.0;
+          for (int i = 0; i < 60; ++i) {
+            const double mid = (lo + hi) / 2.0;
+            const auto reader = reader::MmWaveReader::prototype_at(
+                core::Pose{{mid, 0.0}, phys::kPi});
+            const double p =
+                reader.evaluate_link(tag, env, rates).received_power_dbm;
+            (p >= required ? lo : hi) = mid;
+          }
+          return lo;
+        });
+    ctx.set_units(tiers.size(), "tiers");
+  });
+
+  if (const int rc = harness.run(); rc != 0) return rc;
 
   const double floor_2ghz = noise.power_dbm(phys::ghz(2.0));
   const double floor_200mhz = noise.power_dbm(phys::mhz(200.0));
@@ -94,7 +121,7 @@ int main(int argc, char** argv) {
     floor200m.y.push_back(floor_200mhz);
     floor20m.y.push_back(floor_20mhz);
   }
-  if (csv) {
+  if (parser.csv()) {
     std::fputs(table.to_csv().c_str(), stdout);
     return 0;
   }
@@ -109,26 +136,7 @@ int main(int argc, char** argv) {
                           plot_options)
                           .c_str());
 
-  // The crossover ranges behind the figure's rate labels: one bisection
-  // per tier, tiers sharded across the pool.
   const auto budget = phys::BackscatterLinkBudget::mmtag_prototype();
-  const auto& tiers = rates.tiers();
-  const auto reaches = sim::parallel_sweep(
-      pool, tiers.size(), [&](std::size_t t) {
-        const double required = rates.required_power_dbm(tiers[t]);
-        // Use the circuit-model reader for consistency with the table
-        // above: bisect the rate boundary on the evaluated link.
-        double lo = 0.1, hi = 30.0;
-        for (int i = 0; i < 60; ++i) {
-          const double mid = (lo + hi) / 2.0;
-          const auto reader = reader::MmWaveReader::prototype_at(
-              core::Pose{{mid, 0.0}, phys::kPi});
-          const double p =
-              reader.evaluate_link(tag, env, rates).received_power_dbm;
-          (p >= required ? lo : hi) = mid;
-        }
-        return lo;
-      });
   std::printf("\nRate-tier reach (two-way budget vs floor + 7 dB):\n");
   for (std::size_t t = 0; t < tiers.size(); ++t) {
     const double required = rates.required_power_dbm(tiers[t]);

@@ -1,11 +1,13 @@
-// google-benchmark microbenchmarks of the library's hot kernels: the costs
-// a downstream user pays per simulation step.
-#include <benchmark/benchmark.h>
-
+// Microbenchmarks of the library's hot kernels: the costs a downstream
+// user pays per simulation step. Each case runs a fixed iteration count
+// per repetition; the harness reports median/p90 wall and cpu time plus
+// per-unit throughput, and --compare flags regressions against a saved
+// BENCH_kernels.json baseline.
 #include <atomic>
 #include <cstdint>
 #include <vector>
 
+#include "bench/bench_main.hpp"
 #include "src/antenna/ula.hpp"
 #include "src/channel/raytrace.hpp"
 #include "src/core/van_atta.hpp"
@@ -22,130 +24,164 @@ namespace {
 
 using namespace mmtag;
 
-void BM_ArrayFactor(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const auto array =
-      antenna::UniformLinearArray::half_wavelength(n, phys::kMmTagCarrierHz);
-  const auto weights = antenna::uniform_weights(n);
-  double theta = 0.1;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(array.array_factor(weights, theta));
-    theta += 1e-4;
-  }
-  state.SetItemsProcessed(state.iterations());
+void add_array_factor_case(bench::Harness& harness, int n) {
+  harness.add("array_factor_" + std::to_string(n),
+              [n](bench::CaseContext& ctx) {
+                constexpr int kIters = 20'000;
+                const auto array = antenna::UniformLinearArray::half_wavelength(
+                    n, phys::kMmTagCarrierHz);
+                const auto weights = antenna::uniform_weights(n);
+                double theta = 0.1;
+                for (int i = 0; i < kIters; ++i) {
+                  bench::do_not_optimize(array.array_factor(weights, theta));
+                  theta += 1e-4;
+                }
+                ctx.set_units(kIters, "evals");
+              });
 }
-BENCHMARK(BM_ArrayFactor)->Arg(6)->Arg(16)->Arg(64);
 
-void BM_VanAttaMonostaticGain(benchmark::State& state) {
-  const auto array =
-      core::VanAttaArray::with_elements(static_cast<int>(state.range(0)));
-  double theta = -0.5;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(array.monostatic_gain_db(theta));
-    theta += 1e-4;
-  }
-  state.SetItemsProcessed(state.iterations());
+void add_van_atta_case(bench::Harness& harness, int n) {
+  harness.add("van_atta_gain_" + std::to_string(n),
+              [n](bench::CaseContext& ctx) {
+                constexpr int kIters = 2'000;
+                const auto array = core::VanAttaArray::with_elements(n);
+                double theta = -0.5;
+                for (int i = 0; i < kIters; ++i) {
+                  bench::do_not_optimize(array.monostatic_gain_db(theta));
+                  theta += 1e-4;
+                }
+                ctx.set_units(kIters, "evals");
+              });
 }
-BENCHMARK(BM_VanAttaMonostaticGain)->Arg(6)->Arg(16)->Arg(64);
 
-void BM_RetroPeakSearch(benchmark::State& state) {
-  const auto array = core::VanAttaArray::mmtag_prototype();
-  double theta = -0.4;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(array.peak_reradiation_direction_rad(theta));
-    theta += 0.01;
-    if (theta > 0.4) theta = -0.4;
-  }
-  state.SetItemsProcessed(state.iterations());
+void add_ook_modem_case(bench::Harness& harness, std::size_t bits_count) {
+  harness.add("ook_modem_" + std::to_string(bits_count),
+              [bits_count](bench::CaseContext& ctx) {
+                constexpr int kIters = 40;
+                auto rng = sim::make_rng(ctx.seed());
+                std::bernoulli_distribution coin(0.5);
+                phy::BitVector bits(bits_count);
+                for (std::size_t i = 0; i < bits.size(); ++i) {
+                  bits[i] = coin(rng);
+                }
+                const phy::OokModulator mod(8);
+                const phy::OokDemodulator demod(8);
+                for (int i = 0; i < kIters; ++i) {
+                  phy::Waveform wave = mod.modulate(bits);
+                  bench::do_not_optimize(demod.demodulate(wave));
+                }
+                ctx.set_units(kIters * bits_count, "bits");
+              });
 }
-BENCHMARK(BM_RetroPeakSearch);
 
-void BM_OokModulateDemodulate(benchmark::State& state) {
-  const std::size_t bits_count = static_cast<std::size_t>(state.range(0));
-  auto rng = sim::make_rng(1);
-  std::bernoulli_distribution coin(0.5);
-  phy::BitVector bits(bits_count);
-  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = coin(rng);
-  const phy::OokModulator mod(8);
-  const phy::OokDemodulator demod(8);
-  for (auto _ : state) {
-    phy::Waveform wave = mod.modulate(bits);
-    benchmark::DoNotOptimize(demod.demodulate(wave));
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<long>(bits_count));
+void add_ber_sweep_case(bench::Harness& harness, int threads) {
+  harness.add(
+      "parallel_ber_sweep_t" + std::to_string(threads),
+      [threads](bench::CaseContext& ctx) {
+        // The E4 hot path: a 13-point SNR grid through the waveform-level
+        // modem, sharded across a pool. The result is bit-identical at
+        // every thread count (see test_parallel.cpp); only wall time
+        // moves.
+        sim::ThreadPool pool(threads);
+        sim::MonteCarloLink::Params params;
+        params.min_bits = 4'000;
+        params.max_bits = 4'000;
+        const sim::MonteCarloLink link{params};
+        const std::vector<double> snrs = sim::linspace(0.0, 12.0, 13);
+        const sim::BerSweepResult sweep =
+            link.measure_ber_sweep(snrs, ctx.seed() + 98, pool);
+        bench::do_not_optimize(sweep.points.data());
+        ctx.set_units(sweep.stats.units, "bits");
+      });
 }
-BENCHMARK(BM_OokModulateDemodulate)->Arg(1024)->Arg(16384);
 
-void BM_AwgnChannel(benchmark::State& state) {
-  auto rng = sim::make_rng(2);
-  phy::Waveform wave(static_cast<std::size_t>(state.range(0)),
-                     phy::Complex(1.0, 0.0));
-  for (auto _ : state) {
-    phy::Waveform copy = wave;
-    phy::add_awgn(copy, 0.1, rng);
-    benchmark::DoNotOptimize(copy.data());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+void add_pool_dispatch_case(bench::Harness& harness, int threads) {
+  harness.add("pool_dispatch_t" + std::to_string(threads),
+              [threads](bench::CaseContext& ctx) {
+                // Pure pool overhead: empty 64-item parallel_fors, so
+                // sweep authors know the fixed cost a grid must amortise.
+                constexpr int kIters = 500;
+                sim::ThreadPool pool(threads);
+                std::atomic<std::size_t> sink{0};
+                for (int i = 0; i < kIters; ++i) {
+                  pool.parallel_for(64, [&](std::size_t j) {
+                    sink.fetch_add(j, std::memory_order_relaxed);
+                  });
+                }
+                bench::do_not_optimize(sink.load());
+                ctx.set_units(kIters * 64, "tasks");
+              });
 }
-BENCHMARK(BM_AwgnChannel)->Arg(4096);
 
-void BM_RayTraceOfficeRoom(benchmark::State& state) {
-  const auto office = channel::Environment::office_room();
-  double x = 1.0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        channel::trace_paths(office, {x, 1.0}, {4.0, 3.0}));
-    x = x > 3.0 ? 1.0 : x + 0.001;
-  }
-  state.SetItemsProcessed(state.iterations());
+void add_aloha_case(bench::Harness& harness, int tags, int iters) {
+  harness.add("framed_aloha_" + std::to_string(tags),
+              [tags, iters](bench::CaseContext& ctx) {
+                auto rng = sim::make_rng(ctx.seed() + 2);
+                mac::AlohaConfig config;
+                for (int i = 0; i < iters; ++i) {
+                  bench::do_not_optimize(
+                      mac::run_framed_aloha(tags, config, rng));
+                }
+                ctx.set_units(static_cast<std::uint64_t>(iters) * tags,
+                              "tag inventories");
+              });
 }
-BENCHMARK(BM_RayTraceOfficeRoom);
-
-void BM_ParallelBerSweep(benchmark::State& state) {
-  // The E4 hot path: a 13-point SNR grid through the waveform-level modem,
-  // sharded across a pool. Arg = thread count; the result is bit-identical
-  // across all of them (see test_parallel.cpp), only the wall time moves.
-  sim::ThreadPool pool(static_cast<int>(state.range(0)));
-  sim::MonteCarloLink::Params params;
-  params.min_bits = 4'000;
-  params.max_bits = 4'000;
-  const sim::MonteCarloLink link{params};
-  const std::vector<double> snrs = sim::linspace(0.0, 12.0, 13);
-  std::uint64_t bits = 0;
-  for (auto _ : state) {
-    const sim::BerSweepResult sweep = link.measure_ber_sweep(snrs, 99, pool);
-    bits += sweep.stats.units;
-    benchmark::DoNotOptimize(sweep.points.data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(bits));
-}
-BENCHMARK(BM_ParallelBerSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
-
-void BM_ThreadPoolDispatch(benchmark::State& state) {
-  // Pure pool overhead: an empty 64-item parallel_for, so sweep authors
-  // know the fixed cost a grid must amortise.
-  sim::ThreadPool pool(static_cast<int>(state.range(0)));
-  std::atomic<std::size_t> sink{0};
-  for (auto _ : state) {
-    pool.parallel_for(64, [&](std::size_t i) {
-      sink.fetch_add(i, std::memory_order_relaxed);
-    });
-  }
-  benchmark::DoNotOptimize(sink.load());
-  state.SetItemsProcessed(state.iterations() * 64);
-}
-BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(4)->UseRealTime();
-
-void BM_FramedAloha(benchmark::State& state) {
-  const int tags = static_cast<int>(state.range(0));
-  auto rng = sim::make_rng(3);
-  mac::AlohaConfig config;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(mac::run_framed_aloha(tags, config, rng));
-  }
-  state.SetItemsProcessed(state.iterations() * tags);
-}
-BENCHMARK(BM_FramedAloha)->Arg(16)->Arg(128);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  bench::Parser parser("kernels", "microbenchmarks of the hot kernels");
+  if (!parser.parse(argc, argv)) return parser.exit_code();
+  bench::Harness harness(parser.options());
+
+  for (const int n : {6, 16, 64}) add_array_factor_case(harness, n);
+  for (const int n : {6, 16, 64}) add_van_atta_case(harness, n);
+
+  harness.add("retro_peak_search", [](bench::CaseContext& ctx) {
+    constexpr int kIters = 200;
+    const auto array = core::VanAttaArray::mmtag_prototype();
+    double theta = -0.4;
+    for (int i = 0; i < kIters; ++i) {
+      bench::do_not_optimize(array.peak_reradiation_direction_rad(theta));
+      theta += 0.01;
+      if (theta > 0.4) theta = -0.4;
+    }
+    ctx.set_units(kIters, "searches");
+  });
+
+  add_ook_modem_case(harness, 1024);
+  add_ook_modem_case(harness, 16384);
+
+  harness.add("awgn_4096", [](bench::CaseContext& ctx) {
+    constexpr int kIters = 500;
+    constexpr std::size_t kSamples = 4096;
+    auto rng = sim::make_rng(ctx.seed() + 1);
+    phy::Waveform wave(kSamples, phy::Complex(1.0, 0.0));
+    for (int i = 0; i < kIters; ++i) {
+      phy::Waveform copy = wave;
+      phy::add_awgn(copy, 0.1, rng);
+      bench::do_not_optimize(copy.data());
+    }
+    ctx.set_units(kIters * kSamples, "samples");
+  });
+
+  harness.add("raytrace_office", [](bench::CaseContext& ctx) {
+    constexpr int kIters = 2'000;
+    const auto office = channel::Environment::office_room();
+    double x = 1.0;
+    for (int i = 0; i < kIters; ++i) {
+      bench::do_not_optimize(
+          channel::trace_paths(office, {x, 1.0}, {4.0, 3.0}));
+      x = x > 3.0 ? 1.0 : x + 0.001;
+    }
+    ctx.set_units(kIters, "traces");
+  });
+
+  for (const int t : {1, 2, 4}) add_ber_sweep_case(harness, t);
+  for (const int t : {1, 4}) add_pool_dispatch_case(harness, t);
+
+  add_aloha_case(harness, 16, 2'000);
+  add_aloha_case(harness, 128, 500);
+
+  return harness.run();
+}

@@ -1,0 +1,33 @@
+// Shared entry-point kit for every bench_* executable.
+//
+// Each bench does:
+//
+//   mmtag::bench::Parser parser("e4_ber", "what this bench shows");
+//   parser.add_int("--points", &points, "SNR grid size");   // extras
+//   if (!parser.parse(argc, argv)) return parser.exit_code();
+//   mmtag::bench::Harness harness(parser.options());
+//   harness.add("ber_sweep", [&](mmtag::bench::CaseContext& ctx) {
+//     result = compute();            // assign, don't append: the body
+//     ctx.set_units(bits, "bits");   // runs warmup+repeat times
+//   });
+//   if (const int rc = harness.run(); rc != 0) return rc;
+//   ...print the human tables from the last repetition's results...
+//
+// That buys every bench the standard CLI (--threads --seed --warmup
+// --repeat --json --compare --threshold --csv, unknown flags are errors),
+// median/p90 wall+cpu timing, BENCH_<name>.json reports, and baseline
+// comparison — see src/obs/bench.hpp for the harness itself.
+#pragma once
+
+#include "src/obs/bench.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/sim/parallel.hpp"
+
+namespace mmtag::bench {
+
+/// Thread pool honouring the standard --threads flag (0 = default count).
+[[nodiscard]] inline sim::ThreadPool make_pool(const Options& options) {
+  return sim::ThreadPool(options.threads);
+}
+
+}  // namespace mmtag::bench

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # CI entry point: tier-1 verify in Release and Debug with warnings as
-# errors. Usage: ./ci.sh [extra ctest args...]
+# errors, a bench-smoke stage that exercises the JSON/compare pipeline,
+# and an ASan+UBSan pass. Usage: ./ci.sh [extra ctest args...]
 set -eu
 
 for config in Release Debug; do
@@ -13,13 +14,34 @@ for config in Release Debug; do
   (cd "${build_dir}" && ctest --output-on-failure -j "$@")
 done
 
-echo "=== ASan+UBSan build (test suite only) ==="
+echo "=== Bench smoke (JSON schema + self-compare) ==="
+# Reduced-size runs through the full harness path: write a
+# schema-validated BENCH_*.json, then self-compare (exit 1 on
+# regression, 2 on schema error). Reports are archived in bench-out/.
+bench_dir="build-ci-release/bench"
+out_dir="bench-out"
+mkdir -p "${out_dir}"
+"${bench_dir}/bench_kernels" --csv --warmup 1 --repeat 3 \
+  --json "${out_dir}/BENCH_kernels.json" > /dev/null
+"${bench_dir}/bench_kernels" --csv --warmup 1 --repeat 3 \
+  --compare "${out_dir}/BENCH_kernels.json" --threshold 1.0 > /dev/null
+"${bench_dir}/bench_d1_fleet" --csv --readers 4 --tags 100 --epochs 4 \
+  --json "${out_dir}/BENCH_d1_fleet.json" > /dev/null
+"${bench_dir}/bench_d1_fleet" --csv --readers 4 --tags 100 --epochs 4 \
+  --compare "${out_dir}/BENCH_d1_fleet.json" --threshold 1.0 > /dev/null
+echo "bench smoke OK: $(ls ${out_dir}/BENCH_*.json | tr '\n' ' ')"
+
+echo "=== ASan+UBSan build (test suite + one instrumented bench) ==="
 build_dir="build-ci-asan"
 cmake -B "${build_dir}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
-cmake --build "${build_dir}" -j --target mmtag_tests
+cmake --build "${build_dir}" -j --target mmtag_tests bench_d1_fleet
 (cd "${build_dir}" && ctest --output-on-failure -j "$@")
+# Drive the instrumented fleet bench (spans, counters, cache histograms)
+# under the sanitizers at reduced size.
+"${build_dir}/bench/bench_d1_fleet" --csv --readers 2 --tags 50 --epochs 2 \
+  --warmup 0 --repeat 1 > /dev/null
 
-echo "=== CI OK: Release + Debug (-Werror) and ASan+UBSan clean ==="
+echo "=== CI OK: Release + Debug (-Werror), bench smoke, ASan+UBSan clean ==="

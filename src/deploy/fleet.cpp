@@ -7,10 +7,38 @@
 #include <random>
 
 #include "src/channel/geometry.hpp"
+#include "src/obs/gate.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/phys/constants.hpp"
 #include "src/sim/rng.hpp"
 
 namespace mmtag::deploy {
+
+namespace {
+
+obs::Histogram& cell_epoch_ns_metric() {
+  static obs::Histogram& hist =
+      obs::Registry::instance().histogram("deploy.cell.epoch_ns");
+  return hist;
+}
+obs::Counter& epochs_metric() {
+  static obs::Counter& counter =
+      obs::Registry::instance().counter("deploy.fleet.epochs");
+  return counter;
+}
+obs::Counter& tags_read_metric() {
+  static obs::Counter& counter =
+      obs::Registry::instance().counter("deploy.fleet.tags_discovered");
+  return counter;
+}
+obs::Counter& handoffs_metric() {
+  static obs::Counter& counter =
+      obs::Registry::instance().counter("deploy.fleet.handoffs");
+  return counter;
+}
+
+}  // namespace
 
 FleetSimulator::FleetSimulator(FleetConfig config)
     : config_(std::move(config)) {
@@ -18,6 +46,7 @@ FleetSimulator::FleetSimulator(FleetConfig config)
 }
 
 FleetResult FleetSimulator::run() {
+  MMTAG_OBS_SPAN("deploy.fleet.run");
   FleetLayout layout = make_layout(config_.layout);
   const phy::RateTable rates = phy::RateTable::mmtag_standard();
   const std::size_t m = layout.reader_poses.size();
@@ -56,6 +85,7 @@ FleetResult FleetSimulator::run() {
   sim::ThreadPool pool(config_.threads);
   const auto t0 = std::chrono::steady_clock::now();
   for (int e = 0; e < config_.epochs; ++e) {
+    MMTAG_OBS_SPAN("deploy.fleet.epoch");
     const std::vector<std::vector<std::size_t>> rosters =
         FleetCoordinator::rosters(tag_cell, m);
     const double start_s = e * config_.epoch_duration_s;
@@ -63,10 +93,19 @@ FleetResult FleetSimulator::run() {
       // Cell-private stream: scheduling order can never leak into results.
       std::mt19937_64 rng = sim::make_rng(sim::derive_seed(
           cell_base, static_cast<std::uint64_t>(e) * m + c));
+      std::uint64_t cell_start_ns = 0;
+      if constexpr (obs::kObsEnabled) {
+        cell_start_ns = obs::TraceSink::instance().now_ns();
+      }
       epoch_results[c] =
           cells[c].run_epoch(layout.tags, rosters[c], plans[c], start_s,
                              config_.epoch_duration_s, rng);
+      if constexpr (obs::kObsEnabled) {
+        cell_epoch_ns_metric().record(obs::TraceSink::instance().now_ns() -
+                                      cell_start_ns);
+      }
     });
+    if constexpr (obs::kObsEnabled) epochs_metric().add(1);
 
     // Merge in (cell, roster) order — fixed regardless of which worker
     // finished first.
@@ -130,6 +169,10 @@ FleetResult FleetSimulator::run() {
     result.stats.cache_lookups += cache.lookups;
     result.stats.cache_hits += cache.hits;
     result.stats.raytrace_evals += cache.raytrace_evals;
+  }
+  if constexpr (obs::kObsEnabled) {
+    tags_read_metric().add(reads_total);
+    handoffs_metric().add(static_cast<std::uint64_t>(handoffs));
   }
   result.last_epoch = std::move(epoch_results);
   result.plans = plans;

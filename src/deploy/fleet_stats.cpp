@@ -1,33 +1,21 @@
 #include "src/deploy/fleet_stats.hpp"
 
-#include <algorithm>
 #include <cmath>
-#include <cstring>
+
+#include "src/obs/stats.hpp"
 
 namespace mmtag::deploy {
 
+// Thin delegates: the canonical implementations moved to obs::stats so the
+// bench harness and the fleet layer share one definition of a percentile.
+// Outputs are pinned bit-identical to the pre-refactor private copies by
+// test_fleet_stats regression values.
 double percentile(std::vector<double> values, double pct) {
-  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
-  std::sort(values.begin(), values.end());
-  const double clamped = std::clamp(pct, 0.0, 100.0);
-  const double rank =
-      clamped / 100.0 * static_cast<double>(values.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
-  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
-  const double frac = rank - static_cast<double>(lo);
-  return values[lo] + (values[hi] - values[lo]) * frac;
+  return obs::percentile(std::move(values), pct);
 }
 
 double jain_fairness(const std::vector<double>& values) {
-  if (values.empty()) return 0.0;
-  double sum = 0.0;
-  double sum_sq = 0.0;
-  for (const double x : values) {
-    sum += x;
-    sum_sq += x * x;
-  }
-  if (sum_sq <= 0.0) return 0.0;
-  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+  return obs::jain_fairness(values);
 }
 
 FleetStats summarize_service(const std::vector<TagService>& service,
@@ -62,44 +50,22 @@ FleetStats summarize_service(const std::vector<TagService>& service,
   return stats;
 }
 
-namespace {
-
-void fnv_mix(std::uint64_t& hash, const void* data, std::size_t bytes) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < bytes; ++i) {
-    hash ^= p[i];
-    hash *= 0x100000001B3ull;
-  }
-}
-
-void fnv_mix_double(std::uint64_t& hash, double value) {
-  // NaN percentiles (no tags read) hash via a canonical bit pattern so two
-  // equally-empty runs still agree.
-  std::uint64_t bits = 0;
-  if (std::isnan(value)) {
-    bits = 0x7FF8000000000000ull;
-  } else {
-    std::memcpy(&bits, &value, sizeof(bits));
-  }
-  fnv_mix(hash, &bits, sizeof(bits));
-}
-
-}  // namespace
-
 std::uint64_t fingerprint(const FleetStats& stats) {
-  std::uint64_t hash = 0xCBF29CE484222325ull;
-  fnv_mix(hash, &stats.tags_total, sizeof(stats.tags_total));
-  fnv_mix(hash, &stats.tags_read, sizeof(stats.tags_read));
-  fnv_mix(hash, &stats.handoffs, sizeof(stats.handoffs));
-  fnv_mix_double(hash, stats.duration_s);
-  fnv_mix_double(hash, stats.latency_p50_s);
-  fnv_mix_double(hash, stats.latency_p95_s);
-  fnv_mix_double(hash, stats.latency_p99_s);
-  fnv_mix_double(hash, stats.goodput_mean_bps);
-  fnv_mix_double(hash, stats.goodput_total_bps);
-  fnv_mix_double(hash, stats.jain);
-  fnv_mix_double(hash, stats.reader_utilization);
-  return hash;
+  // obs::Fnv1a uses the same offset basis, prime, and canonical-NaN rule
+  // as the hand-rolled mixer this replaced, so fingerprints are unchanged.
+  obs::Fnv1a hasher;
+  hasher.mix_bytes(&stats.tags_total, sizeof(stats.tags_total));
+  hasher.mix_bytes(&stats.tags_read, sizeof(stats.tags_read));
+  hasher.mix_bytes(&stats.handoffs, sizeof(stats.handoffs));
+  hasher.mix_double(stats.duration_s);
+  hasher.mix_double(stats.latency_p50_s);
+  hasher.mix_double(stats.latency_p95_s);
+  hasher.mix_double(stats.latency_p99_s);
+  hasher.mix_double(stats.goodput_mean_bps);
+  hasher.mix_double(stats.goodput_total_bps);
+  hasher.mix_double(stats.jain);
+  hasher.mix_double(stats.reader_utilization);
+  return hasher.digest();
 }
 
 sim::Table fleet_stats_table(const FleetStats& stats) {

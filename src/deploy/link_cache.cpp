@@ -2,7 +2,34 @@
 
 #include <cassert>
 
+#include "src/obs/gate.hpp"
+#include "src/obs/metrics.hpp"
+
 namespace mmtag::deploy {
+
+namespace {
+
+// Process-wide mirrors of the per-cache Stats counters. The per-object
+// Stats stay the source of truth for FleetStats aggregation (cell merge
+// order, fingerprints); these let any run's cache behaviour show up in
+// bench --json metrics without plumbing.
+obs::Counter& cache_lookups_metric() {
+  static obs::Counter& counter =
+      obs::Registry::instance().counter("deploy.cache.lookups");
+  return counter;
+}
+obs::Counter& cache_hits_metric() {
+  static obs::Counter& counter =
+      obs::Registry::instance().counter("deploy.cache.hits");
+  return counter;
+}
+obs::Counter& raytrace_evals_metric() {
+  static obs::Counter& counter =
+      obs::Registry::instance().counter("deploy.cache.raytrace_evals");
+  return counter;
+}
+
+}  // namespace
 
 LinkCache::LinkCache(reader::MmWaveReader reader,
                      const channel::Environment* env,
@@ -16,12 +43,14 @@ const reader::LinkReport& LinkCache::link(const core::MmTag& tag,
                                           int beam_key,
                                           double boresight_rad) {
   ++stats_.lookups;
+  if constexpr (obs::kObsEnabled) cache_lookups_metric().add(1);
   TagEntry& entry = entries_[tag.id()];
 
   if (enabled_) {
     const auto cached = entry.reports.find(beam_key);
     if (cached != entry.reports.end()) {
       ++stats_.hits;
+      if constexpr (obs::kObsEnabled) cache_hits_metric().add(1);
       return cached->second;
     }
   }
@@ -31,6 +60,7 @@ const reader::LinkReport& LinkCache::link(const core::MmTag& tag,
                                        tag.pose().position);
     entry.paths_valid = enabled_;
     ++stats_.raytrace_evals;
+    if constexpr (obs::kObsEnabled) raytrace_evals_metric().add(1);
   }
 
   reader_.steer_to_world(boresight_rad);

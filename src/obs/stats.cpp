@@ -1,0 +1,57 @@
+#include "src/obs/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace mmtag::obs {
+
+double percentile(std::vector<double> values, double pct) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::sort(values.begin(), values.end());
+  return percentile_sorted(values, pct);
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
+  const double clamped = std::clamp(pct, 0.0, 100.0);
+  const double rank =
+      clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double jain_fairness(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : values) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+void Fnv1a::mix_bytes(const void* data, std::size_t bytes) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash_ ^= p[i];
+    hash_ *= kPrime;
+  }
+}
+
+void Fnv1a::mix_double(double value) noexcept {
+  std::uint64_t bits = 0;
+  if (std::isnan(value)) {
+    bits = 0x7FF8000000000000ull;
+  } else {
+    std::memcpy(&bits, &value, sizeof(bits));
+  }
+  mix_bytes(&bits, sizeof(bits));
+}
+
+}  // namespace mmtag::obs

@@ -1,0 +1,111 @@
+#include "src/obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#include "src/obs/json.hpp"
+
+namespace mmtag::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint32_t thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// Per-thread span nesting depth (entered minus exited).
+thread_local std::uint32_t t_span_depth = 0;
+
+}  // namespace
+
+TraceSink::TraceSink() : epoch_ns_(steady_ns()) {
+  ring_.resize(kDefaultCapacity);
+}
+
+TraceSink& TraceSink::instance() {
+  static TraceSink sink;
+  return sink;
+}
+
+std::uint64_t TraceSink::now_ns() const { return steady_ns() - epoch_ns_; }
+
+void TraceSink::set_capacity(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_.assign(capacity > 0 ? capacity : 1, TraceEvent{});
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+void TraceSink::record(const TraceEvent& event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_[head_] = event;
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) {
+    ++size_;
+  } else {
+    ++dropped_;  // Overwrote the oldest buffered event.
+  }
+}
+
+std::vector<TraceEvent> TraceSink::drain() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> events;
+  events.reserve(size_);
+  const std::size_t first = (head_ + ring_.size() - size_) % ring_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    events.push_back(ring_[(first + i) % ring_.size()]);
+  }
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+  return events;
+}
+
+std::uint64_t TraceSink::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::string TraceSink::drain_jsonl() {
+  std::string out;
+  for (const TraceEvent& event : drain()) {
+    JsonValue line = JsonValue::object();
+    line.set("name", JsonValue(event.name != nullptr ? event.name : ""));
+    line.set("ts_ns", JsonValue(event.start_ns));
+    line.set("dur_ns", JsonValue(event.dur_ns));
+    line.set("tid", JsonValue(std::uint64_t{event.thread}));
+    line.set("depth", JsonValue(std::uint64_t{event.depth}));
+    out += line.dump();
+    out += '\n';
+  }
+  return out;
+}
+
+Span::Span(const char* name)
+    : name_(name),
+      start_ns_(TraceSink::instance().now_ns()),
+      depth_(t_span_depth++) {}
+
+Span::~Span() {
+  --t_span_depth;
+  TraceEvent event;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.dur_ns = TraceSink::instance().now_ns() - start_ns_;
+  event.thread = thread_id();
+  event.depth = depth_;
+  TraceSink::instance().record(event);
+}
+
+}  // namespace mmtag::obs

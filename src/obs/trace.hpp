@@ -1,0 +1,92 @@
+// Scoped tracing: RAII spans into a bounded ring-buffer sink.
+//
+// A Span marks a region of interest (a fleet epoch, a sweep, a cell's
+// service pass); on destruction it pushes one fixed-size event into the
+// process TraceSink. The sink is a preallocated ring — recording never
+// allocates, and when the ring wraps the oldest events are overwritten
+// (dropped() counts them), so tracing can stay on in long runs without
+// unbounded memory. Export is JSONL: one event object per line, ready for
+// jq or a trace viewer ingest script.
+//
+// Span names must be string literals (or otherwise outlive the sink):
+// events store the pointer, not a copy — recording a span is two clock
+// reads and one short critical section, nothing more.
+//
+// With MMTAG_OBS=0 the MMTAG_OBS_SPAN macro (gate.hpp) expands to nothing
+// and instrumented scopes carry zero cost.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/gate.hpp"
+
+namespace mmtag::obs {
+
+/// One completed span. Times are nanoseconds on the steady clock, relative
+/// to the sink's creation, so traces from one process share one timeline.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t thread = 0;  ///< Small sequential id, first-use order.
+  std::uint32_t depth = 0;   ///< Span nesting depth at entry (0 = root).
+};
+
+class TraceSink {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 8192;
+
+  static TraceSink& instance();
+
+  /// Resize the ring (drops currently buffered events). Capacity 0 is
+  /// clamped to 1.
+  void set_capacity(std::size_t capacity);
+
+  /// Push one completed event; overwrites the oldest when full.
+  void record(const TraceEvent& event);
+
+  /// Copy out buffered events oldest-first and clear the ring.
+  [[nodiscard]] std::vector<TraceEvent> drain();
+
+  /// Events overwritten since the last drain()/set_capacity().
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Drain and render one JSON object per line:
+  /// {"name":"...","ts_ns":...,"dur_ns":...,"tid":...,"depth":...}
+  [[nodiscard]] std::string drain_jsonl();
+
+  /// Nanoseconds since the sink epoch (steady clock).
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+ private:
+  TraceSink();
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  ///< Next write position.
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t epoch_ns_ = 0;  ///< Steady-clock origin of the timeline.
+};
+
+/// RAII scope marker. Construct with a string literal; the destructor
+/// records the completed event. Spans nest: a thread-local depth counter
+/// tags each event with its nesting level, which the JSONL round-trip test
+/// uses to rebuild the tree.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_;
+  std::uint32_t depth_;
+};
+
+}  // namespace mmtag::obs

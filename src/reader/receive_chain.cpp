@@ -2,7 +2,35 @@
 
 #include <cassert>
 
+#include "src/obs/gate.hpp"
+#include "src/obs/metrics.hpp"
+
 namespace mmtag::reader {
+
+namespace {
+
+obs::Counter& rx_attempts_metric() {
+  static obs::Counter& counter =
+      obs::Registry::instance().counter("reader.rx.attempts");
+  return counter;
+}
+obs::Counter& rx_preamble_ok_metric() {
+  static obs::Counter& counter =
+      obs::Registry::instance().counter("reader.rx.preamble_ok");
+  return counter;
+}
+obs::Counter& rx_crc_ok_metric() {
+  static obs::Counter& counter =
+      obs::Registry::instance().counter("reader.rx.crc_ok");
+  return counter;
+}
+obs::Counter& rx_bits_metric() {
+  static obs::Counter& counter =
+      obs::Registry::instance().counter("reader.rx.demodulated_bits");
+  return counter;
+}
+
+}  // namespace
 
 ReceiveChain::ReceiveChain(Params params) : params_(params) {
   assert(params_.samples_per_symbol >= 1);
@@ -34,6 +62,12 @@ ReceiveResult ReceiveChain::receive(
 
   result.frame = phy::TagFrame::parse(bits);
   result.crc_ok = result.frame.has_value();
+  if constexpr (obs::kObsEnabled) {
+    rx_attempts_metric().add(1);
+    rx_bits_metric().add(result.demodulated_bits);
+    if (result.preamble_ok) rx_preamble_ok_metric().add(1);
+    if (result.crc_ok) rx_crc_ok_metric().add(1);
+  }
   return result;
 }
 

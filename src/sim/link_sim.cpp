@@ -3,10 +3,28 @@
 #include <cassert>
 #include <numeric>
 
+#include "src/obs/gate.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/phy/frame.hpp"
 #include "src/phy/waveform.hpp"
 
 namespace mmtag::sim {
+
+namespace {
+
+obs::Counter& link_bits_metric() {
+  static obs::Counter& counter =
+      obs::Registry::instance().counter("sim.link.bits");
+  return counter;
+}
+obs::Counter& link_frames_metric() {
+  static obs::Counter& counter =
+      obs::Registry::instance().counter("sim.link.frames");
+  return counter;
+}
+
+}  // namespace
 
 MonteCarloLink::MonteCarloLink(Params params) : params_(params) {
   assert(params_.samples_per_symbol >= 1);
@@ -109,6 +127,7 @@ FerMeasurement MonteCarloLink::measure_fer_point(double snr_db, int frames,
 BerSweepResult MonteCarloLink::measure_ber_sweep(
     std::span<const double> snr_db, std::uint64_t base_seed,
     ThreadPool& pool) const {
+  MMTAG_OBS_SPAN("sim.link.ber_sweep");
   BerSweepResult result;
   result.points = parallel_monte_carlo(
       pool, snr_db.size(), base_seed,
@@ -121,6 +140,9 @@ BerSweepResult MonteCarloLink::measure_ber_sweep(
       [](std::uint64_t acc, const BerMeasurement& m) {
         return acc + m.bits_sent;
       });
+  if constexpr (obs::kObsEnabled) {
+    link_bits_metric().add(result.stats.units);
+  }
   return result;
 }
 
@@ -133,6 +155,7 @@ BerSweepResult MonteCarloLink::measure_ber_sweep(
 FerSweepResult MonteCarloLink::measure_fer_sweep(
     std::span<const double> snr_db, int frames, std::size_t payload_bits,
     std::uint64_t base_seed, ThreadPool& pool) const {
+  MMTAG_OBS_SPAN("sim.link.fer_sweep");
   FerSweepResult result;
   result.points = parallel_monte_carlo(
       pool, snr_db.size(), base_seed,
@@ -141,6 +164,9 @@ FerSweepResult MonteCarloLink::measure_fer_sweep(
       },
       &result.stats);
   result.stats.units = static_cast<std::uint64_t>(frames) * snr_db.size();
+  if constexpr (obs::kObsEnabled) {
+    link_frames_metric().add(result.stats.units);
+  }
   return result;
 }
 

@@ -3,7 +3,34 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "src/obs/gate.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
 namespace mmtag::sim {
+
+namespace {
+
+// Pool metrics (obs registry). Function-local statics keep steady-state
+// cost to one indirect load; every call site is if-constexpr gated so
+// MMTAG_OBS=0 builds carry no trace of them.
+obs::Counter& pool_tasks_metric() {
+  static obs::Counter& counter =
+      obs::Registry::instance().counter("sim.pool.tasks");
+  return counter;
+}
+obs::Histogram& pool_queue_depth_metric() {
+  static obs::Histogram& hist =
+      obs::Registry::instance().histogram("sim.pool.queue_depth");
+  return hist;
+}
+obs::Histogram& pool_batch_ns_metric() {
+  static obs::Histogram& hist =
+      obs::Registry::instance().histogram("sim.pool.batch_ns");
+  return hist;
+}
+
+}  // namespace
 
 int default_thread_count() {
   if (const char* env = std::getenv("MMTAG_THREADS")) {
@@ -32,14 +59,32 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::drain_items() {
+  std::uint64_t executed = 0;
   while (true) {
     std::size_t index;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      if (next_ >= count_) return;
+      if (next_ >= count_) break;
       index = next_++;
     }
-    (*body_)(index);
+    try {
+      (*body_)(index);
+    } catch (...) {
+      // Park the failure and abandon the remaining unclaimed indices so
+      // the batch quiesces quickly. When multiple claimed tasks throw
+      // concurrently, the lowest index wins — a fixed rule so the caller
+      // sees a reproducible exception for deterministic workloads.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_ || index < error_index_) {
+        error_ = std::current_exception();
+        error_index_ = index;
+      }
+      next_ = count_;
+    }
+    ++executed;
+  }
+  if constexpr (obs::kObsEnabled) {
+    if (executed > 0) pool_tasks_metric().add(executed);
   }
 }
 
@@ -68,10 +113,37 @@ void ThreadPool::parallel_for(
   body_ = &body;
   count_ = count;
   next_ = 0;
+  error_ = nullptr;
+  error_index_ = std::numeric_limits<std::size_t>::max();
+  std::uint64_t batch_start_ns = 0;
+  bool timed_batch = false;
+  if constexpr (obs::kObsEnabled) {
+    pool_queue_depth_metric().record(static_cast<std::uint64_t>(count));
+    // Batch granularity, sampled 1-in-8: per-item (or even per-batch)
+    // clock reads would distort sub-microsecond dispatch far beyond the
+    // < 2% instrumentation budget (DESIGN.md Sec. 9). Per-task latency
+    // is batch_ns over queue_depth.
+    timed_batch = (obs_batch_tick_++ & 7) == 0;
+    if (timed_batch) batch_start_ns = obs::TraceSink::instance().now_ns();
+  }
+  const auto finish = [&] {
+    body_ = nullptr;
+    if constexpr (obs::kObsEnabled) {
+      if (timed_batch) {
+        pool_batch_ns_metric().record(obs::TraceSink::instance().now_ns() -
+                                      batch_start_ns);
+      }
+    }
+    if (error_) {
+      const std::exception_ptr error = error_;
+      error_ = nullptr;
+      std::rethrow_exception(error);
+    }
+  };
   if (workers_.empty()) {
     // Single-threaded pool: run inline, no synchronisation.
     drain_items();
-    body_ = nullptr;
+    finish();
     return;
   }
   {
@@ -88,7 +160,7 @@ void ThreadPool::parallel_for(
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [&] { return running_workers_ == 0; });
   }
-  body_ = nullptr;
+  finish();
 }
 
 Table sweep_stats_table(const SweepStats& stats,

@@ -20,7 +20,9 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -57,14 +59,22 @@ class ThreadPool {
   }
 
   /// Run `body(i)` for every i in [0, count), blocking until all complete.
-  /// `body` must not throw and may only touch per-index state (each index
-  /// is claimed by exactly one thread). Not reentrant.
+  /// `body` may only touch per-index state (each index is claimed by
+  /// exactly one thread). Not reentrant.
+  ///
+  /// Exceptions thrown by `body` propagate: the first failure abandons the
+  /// remaining unclaimed indices, every worker quiesces, and the exception
+  /// is rethrown on the calling thread (when several claimed indices throw
+  /// concurrently, the lowest-indexed failure wins). The pool remains
+  /// usable afterwards; results for indices that never ran are whatever
+  /// the caller preallocated.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body);
 
  private:
   void worker_loop();
   /// Claim indices from the shared cursor until the range is exhausted.
+  /// Never lets an exception escape (failures are parked in error_).
   void drain_items();
 
   std::vector<std::thread> workers_;
@@ -77,6 +87,12 @@ class ThreadPool {
   std::uint64_t generation_ = 0;
   int running_workers_ = 0;
   bool stop_ = false;
+  /// First task failure of the current parallel_for (by index).
+  std::exception_ptr error_;
+  std::size_t error_index_ = std::numeric_limits<std::size_t>::max();
+  /// Batch sequence number; batch wall-time is sampled 1-in-8 on it so
+  /// the clock reads stay off the empty-batch dispatch floor.
+  std::uint64_t obs_batch_tick_ = 0;
 };
 
 /// Timing/throughput counters for one sweep, printed by the benches so

@@ -100,6 +100,45 @@ TEST(Fingerprint, StableWhenNothingWasRead) {
   EXPECT_EQ(fingerprint(a), fingerprint(b));
 }
 
+// --- Pinned regression values -------------------------------------------
+// fleet_stats delegates percentile/jain/fingerprint to obs::stats (PR 4);
+// these exact values were produced by the pre-refactor private copies and
+// must never drift — they are what makes fleet fingerprints comparable
+// across repo versions.
+
+TEST(Fingerprint, PinnedValueForKnownStats) {
+  FleetStats stats;
+  stats.tags_total = 4;
+  stats.tags_read = 3;
+  stats.handoffs = 2;
+  stats.duration_s = 2.5;
+  stats.latency_p50_s = 0.125;
+  stats.latency_p95_s = 0.5;
+  stats.latency_p99_s = 1.0;
+  stats.goodput_mean_bps = 1536.0;
+  stats.goodput_total_bps = 2048.0;
+  stats.jain = 0.75;
+  stats.reader_utilization = 0.25;
+  EXPECT_EQ(fingerprint(stats), 0xe5657db78100fc89ull);
+}
+
+TEST(Fingerprint, PinnedValueWithCanonicalNaNs) {
+  // Four tags, none read: the latency percentiles are NaN and must hash
+  // via the canonical quiet-NaN pattern, giving this exact digest.
+  const std::vector<TagService> service(4);
+  const FleetStats stats = summarize_service(service, 1.0);
+  EXPECT_EQ(fingerprint(stats), 0x575c01476ca203a9ull);
+}
+
+TEST(Percentile, PinnedInterpolationBits) {
+  // Exact IEEE results of the shared linear-interpolation rule; any
+  // algorithm change (nearest-rank, exclusive interpolation, ...) breaks
+  // these bits and with them every stored fleet fingerprint.
+  const std::vector<double> xs{0.1, 0.2, 0.4, 0.8, 1.6};
+  EXPECT_DOUBLE_EQ(percentile(xs, 95.0), 0.8 + 0.8 * 0.8);
+  EXPECT_DOUBLE_EQ(percentile(xs, 10.0), 0.1 + 0.4 * 0.1);
+}
+
 TEST(FleetStatsTable, RendersOneRow) {
   std::vector<TagService> service(1);
   service[0].read = true;

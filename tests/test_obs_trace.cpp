@@ -1,0 +1,143 @@
+// Trace spans (src/obs/trace): RAII recording, ring-buffer bounds,
+// JSONL export round-trip.
+//
+// These tests share the process-wide TraceSink, so every test starts by
+// draining it and restoring the capacity it changed.
+#include "src/obs/trace.hpp"
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/json.hpp"
+
+namespace mmtag::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceSink::instance().set_capacity(TraceSink::kDefaultCapacity);
+  }
+  void TearDown() override {
+    TraceSink::instance().set_capacity(TraceSink::kDefaultCapacity);
+  }
+};
+
+TEST_F(TraceTest, SpanRecordsOnDestruction) {
+  {
+    Span span("unit.outer");
+    // Still open: nothing recorded yet.
+  }
+  const std::vector<TraceEvent> events = TraceSink::instance().drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "unit.outer");
+  EXPECT_EQ(events[0].depth, 0u);
+}
+
+TEST_F(TraceTest, NestedSpansCarryDepthAndOrderInnerFirst) {
+  {
+    Span outer("unit.outer");
+    {
+      Span middle("unit.middle");
+      Span inner("unit.inner");
+    }
+  }
+  const std::vector<TraceEvent> events = TraceSink::instance().drain();
+  ASSERT_EQ(events.size(), 3u);
+  // Destruction order: inner closes first, outer last.
+  EXPECT_STREQ(events[0].name, "unit.inner");
+  EXPECT_EQ(events[0].depth, 2u);
+  EXPECT_STREQ(events[1].name, "unit.middle");
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_STREQ(events[2].name, "unit.outer");
+  EXPECT_EQ(events[2].depth, 0u);
+  // Containment: the outer span starts no later and lasts no shorter.
+  EXPECT_LE(events[2].start_ns, events[0].start_ns);
+  EXPECT_GE(events[2].start_ns + events[2].dur_ns,
+            events[0].start_ns + events[0].dur_ns);
+}
+
+TEST_F(TraceTest, DepthResetsBetweenSiblingRoots) {
+  { Span a("unit.a"); }
+  { Span b("unit.b"); }
+  const std::vector<TraceEvent> events = TraceSink::instance().drain();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[1].depth, 0u);
+}
+
+TEST_F(TraceTest, RingOverwritesOldestAndCountsDrops) {
+  TraceSink& sink = TraceSink::instance();
+  sink.set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    Span span(i % 2 == 0 ? "unit.even" : "unit.odd");
+  }
+  EXPECT_EQ(sink.dropped(), 6u);
+  const std::vector<TraceEvent> events = sink.drain();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first drain of the surviving tail: spans 6, 7, 8, 9.
+  EXPECT_STREQ(events[0].name, "unit.even");
+  EXPECT_STREQ(events[1].name, "unit.odd");
+  // Drain cleared the ring and the drop counter.
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_TRUE(sink.drain().empty());
+}
+
+TEST_F(TraceTest, JsonlRoundTripPreservesEveryField) {
+  TraceSink& sink = TraceSink::instance();
+  {
+    Span outer("unit.jsonl.outer");
+    Span inner("unit.jsonl.inner");
+  }
+  const std::string jsonl = sink.drain_jsonl();
+
+  // Parse each line back through the same JSON reader the bench compare
+  // path uses; the rebuilt events must match what a struct drain gives.
+  std::vector<std::string> names;
+  std::vector<std::uint64_t> depths;
+  std::istringstream lines(jsonl);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::string error;
+    const std::optional<JsonValue> doc = JsonValue::parse(line, &error);
+    ASSERT_TRUE(doc.has_value()) << error << " in line: " << line;
+    ASSERT_TRUE(doc->is_object());
+    const JsonValue* name = doc->find("name");
+    ASSERT_NE(name, nullptr);
+    ASSERT_TRUE(name->is_string());
+    names.push_back(name->as_string());
+    depths.push_back(
+        static_cast<std::uint64_t>(doc->number_or("depth", -1.0)));
+    // Timing fields present and sane.
+    EXPECT_GE(doc->number_or("ts_ns", -1.0), 0.0);
+    EXPECT_GE(doc->number_or("dur_ns", -1.0), 0.0);
+    EXPECT_GE(doc->number_or("tid", -1.0), 0.0);
+  }
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "unit.jsonl.inner");
+  EXPECT_EQ(depths[0], 1u);
+  EXPECT_EQ(names[1], "unit.jsonl.outer");
+  EXPECT_EQ(depths[1], 0u);
+}
+
+TEST_F(TraceTest, DrainJsonlEmptySinkIsEmptyString) {
+  (void)TraceSink::instance().drain();
+  EXPECT_TRUE(TraceSink::instance().drain_jsonl().empty());
+}
+
+TEST_F(TraceTest, SetCapacityClampsZeroToOne) {
+  TraceSink& sink = TraceSink::instance();
+  sink.set_capacity(0);
+  { Span a("unit.clamp.a"); }
+  { Span b("unit.clamp.b"); }
+  const std::vector<TraceEvent> events = sink.drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "unit.clamp.b");
+}
+
+}  // namespace
+}  // namespace mmtag::obs

@@ -8,6 +8,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -178,6 +180,77 @@ TEST(FerSweep, BitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(a.points[i].failures, b.points[i].failures) << "point " << i;
   }
   EXPECT_EQ(a.stats.units, 10u * snrs.size());
+}
+
+// --- Exception propagation from pooled tasks ---------------------------
+// Regression: task exceptions used to terminate the process (thrown on a
+// worker thread with nothing to catch them). The contract now is that
+// parallel_for rethrows the failure on the calling thread, prefers the
+// lowest-indexed failure when several tasks throw, and leaves the pool
+// reusable.
+
+TEST(ThreadPoolExceptions, TaskExceptionReachesCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("task 37");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolExceptions, InlinePathAlsoPropagates) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.parallel_for(10,
+                        [](std::size_t i) {
+                          if (i == 3) throw std::logic_error("inline");
+                        }),
+      std::logic_error);
+}
+
+TEST(ThreadPoolExceptions, LowestIndexedFailureWins) {
+  // Deterministic selection when several tasks throw: the reported error
+  // is the lowest-indexed one, independent of scheduling.
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    try {
+      pool.parallel_for(64, [](std::size_t i) {
+        if (i % 2 == 1) {
+          throw std::runtime_error("index " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "index 1");
+    }
+  }
+}
+
+TEST(ThreadPoolExceptions, PoolIsReusableAfterFailure) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(
+                   8, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<int> total{0};
+  pool.parallel_for(20, [&](std::size_t) {
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 20);
+}
+
+TEST(ThreadPoolExceptions, ParallelSweepPropagates) {
+  // The public sweep API inherits the contract: a throwing point body
+  // must surface to the sweep caller, not kill the process.
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_sweep(pool, 16,
+                              [](std::size_t i) -> int {
+                                if (i == 5) {
+                                  throw std::runtime_error("point 5");
+                                }
+                                return static_cast<int>(i);
+                              }),
+               std::runtime_error);
 }
 
 // --- Adaptive early termination.
