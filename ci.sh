@@ -37,11 +37,25 @@ cmake -B "${build_dir}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
-cmake --build "${build_dir}" -j --target mmtag_tests bench_d1_fleet
+cmake --build "${build_dir}" -j --target mmtag_tests bench_d1_fleet \
+  bench_d2_chaos
 (cd "${build_dir}" && ctest --output-on-failure -j "$@")
 # Drive the instrumented fleet bench (spans, counters, cache histograms)
 # under the sanitizers at reduced size.
 "${build_dir}/bench/bench_d1_fleet" --csv --readers 2 --tags 50 --epochs 2 \
   --warmup 0 --repeat 1 > /dev/null
 
-echo "=== CI OK: Release + Debug (-Werror), bench smoke, ASan+UBSan clean ==="
+echo "=== Chaos smoke (fault injection under ASan, obs metrics on) ==="
+# The chaos bench self-checks determinism across thread counts and the
+# recovery-beats-none margin (exit 1 on violation); MMTAG_OBS defaults ON,
+# so the JSON report embeds the fault.* metrics. Self-compare closes the
+# loop through the mmtag.bench.v1 schema + threshold gate.
+"${build_dir}/bench/bench_d2_chaos" --csv --readers 4 --tags 100 \
+  --epochs 3 --warmup 0 --repeat 1 \
+  --json "${out_dir}/BENCH_d2_chaos.json" > /dev/null
+"${build_dir}/bench/bench_d2_chaos" --csv --readers 4 --tags 100 \
+  --epochs 3 --warmup 0 --repeat 1 \
+  --compare "${out_dir}/BENCH_d2_chaos.json" --threshold 1.0 > /dev/null
+echo "chaos smoke OK: ${out_dir}/BENCH_d2_chaos.json"
+
+echo "=== CI OK: Release + Debug (-Werror), bench smoke, ASan+UBSan, chaos smoke ==="

@@ -8,11 +8,23 @@
 
 #include "src/channel/geometry.hpp"
 #include "src/mac/event_queue.hpp"
+#include "src/obs/gate.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/phy/frame.hpp"
 #include "src/phys/units.hpp"
 #include "src/reader/interference.hpp"
 
 namespace mmtag::deploy {
+
+namespace {
+
+obs::Histogram& poll_cost_us_metric() {
+  static obs::Histogram& hist =
+      obs::Registry::instance().histogram("deploy.cell.poll_us");
+  return hist;
+}
+
+}  // namespace
 
 ReaderCell::ReaderCell(int index, reader::MmWaveReader reader,
                        const channel::Environment* env,
@@ -21,7 +33,7 @@ ReaderCell::ReaderCell(int index, reader::MmWaveReader reader,
     : index_(index),
       rates_(rates),
       config_(config),
-      cache_(std::move(reader), env, rates, use_cache) {
+      cache_(std::move(reader), env, rates, use_cache, index) {
   const double facing = cache_.reader().pose().orientation_rad;
   codebook_ = antenna::uniform_codebook(
       facing - config_.sector_half_angle_rad,
@@ -31,14 +43,22 @@ ReaderCell::ReaderCell(int index, reader::MmWaveReader reader,
 CellEpochResult ReaderCell::run_epoch(
     const std::vector<core::MmTag>& tags,
     const std::vector<std::size_t>& tag_indices, const CellPlan& plan,
-    double start_s, double duration_s, std::mt19937_64& rng) {
+    double start_s, double duration_s, std::mt19937_64& rng,
+    const CellFaultContext* faults) {
   CellEpochResult result;
   result.cell_index = index_;
   result.tags_assigned = static_cast<int>(tag_indices.size());
   result.service.resize(tag_indices.size());
 
-  const double budget_s = duration_s * plan.airtime_share;
-  assert(budget_s > 0.0);
+  const double budget_s = duration_s * plan.airtime_share *
+                          (faults != nullptr ? faults->budget_scale : 1.0);
+  if (budget_s <= 0.0) {
+    // Reader down for the whole epoch: identify the roster, serve nobody.
+    for (std::size_t k = 0; k < tag_indices.size(); ++k) {
+      result.service[k].tag_id = tags[tag_indices[k]].id();
+    }
+    return result;
+  }
 
   // --- Beam assignment over cached link budgets -------------------------
   // Each tag goes to the nearest-boresight beam; its rate is the cached
@@ -49,8 +69,24 @@ CellEpochResult ReaderCell::run_epoch(
   std::vector<double> beam_rate(codebook_.size(),
                                 std::numeric_limits<double>::infinity());
   for (std::size_t k = 0; k < n; ++k) {
-    const core::MmTag& tag = tags[tag_indices[k]];
+    const std::size_t gi = tag_indices[k];
+    const core::MmTag& tag = tags[gi];
     result.service[k].tag_id = tag.id();
+    if (faults != nullptr) {
+      // A browned-out tag has no charge to answer with, and a quarantined
+      // tag is deliberately left alone — neither contends in discovery.
+      // Sentences are epoch-granular: each skipped epoch ticks the count
+      // down, and the tag re-enters discovery once it reaches zero.
+      // Fault-free runs never populate the map (one empty() check here).
+      if ((*faults->tag_brownout)[gi] != 0) continue;
+      if (!quarantine_.empty()) {
+        const auto sentence = quarantine_.find(tag.id());
+        if (sentence != quarantine_.end()) {
+          if (--sentence->second <= 0) quarantine_.erase(sentence);
+          continue;
+        }
+      }
+    }
     const double bearing = channel::bearing_rad(
         cache_.reader().pose().position, tag.pose().position);
     int best = -1;
@@ -67,8 +103,10 @@ CellEpochResult ReaderCell::run_epoch(
     const reader::LinkReport& link =
         cache_.link(tag, best, codebook_[static_cast<std::size_t>(best)]
                                    .boresight_rad);
+    double power_dbm = link.received_power_dbm;
+    if (faults != nullptr) power_dbm -= (*faults->tag_loss_db)[gi];
     const double rate = reader::sinr_limited_rate_bps(
-        link.received_power_dbm, plan.interference_dbm, *rates_);
+        power_dbm, plan.interference_dbm, *rates_);
     if (rate <= 0.0) continue;
     tag_beam[k] = best;
     beam_members[static_cast<std::size_t>(best)].push_back(k);
@@ -94,26 +132,83 @@ CellEpochResult ReaderCell::run_epoch(
   std::bernoulli_distribution poll_success(
       config_.aloha.slot_success_probability);
 
+  // Per-tag retry state (fault path only): consecutive no-response count,
+  // earliest next attempt (exponential backoff), and an epoch-local
+  // quarantined flag mirroring the cross-epoch quarantine_ map.
+  std::vector<int> fail_count;
+  std::vector<double> retry_at;
+  std::vector<std::uint8_t> benched;
+  if (faults != nullptr) {
+    fail_count.assign(n, 0);
+    retry_at.assign(n, 0.0);
+    benched.assign(n, 0);
+  }
+  const fault::RecoveryConfig& recovery = config_.recovery;
+
   std::function<void()> run_polling = [&] {
     if (discovered.empty()) return;
-    const std::size_t k = discovered[poll_cursor % discovered.size()];
-    ++poll_cursor;
+    std::size_t k;
+    if (faults == nullptr) {
+      k = discovered[poll_cursor % discovered.size()];
+      ++poll_cursor;
+    } else {
+      // Round-robin over tags that are eligible now; tags backing off are
+      // revisited when their retry timer lands, quarantined tags never.
+      std::size_t probes = 0;
+      std::size_t chosen = n;
+      double next_retry = std::numeric_limits<double>::infinity();
+      while (probes < discovered.size()) {
+        const std::size_t cand =
+            discovered[(poll_cursor + probes) % discovered.size()];
+        ++probes;
+        if (benched[cand] != 0) continue;
+        if (retry_at[cand] > queue.now()) {
+          next_retry = std::min(next_retry, retry_at[cand]);
+          continue;
+        }
+        chosen = cand;
+        break;
+      }
+      if (chosen == n) {
+        // Everyone is waiting out a backoff (or quarantined): idle until
+        // the earliest retry instead of busy-spinning the event queue.
+        if (std::isfinite(next_retry) && next_retry <= budget_s) {
+          queue.schedule(next_retry, run_polling);
+        }
+        return;
+      }
+      poll_cursor += probes;
+      k = chosen;
+    }
+    const std::size_t gi = tag_indices[k];
     // Every poll re-checks the link budget (the tag may have moved since
     // discovery) — this is the fleet hot loop the LinkCache exists for:
     // static geometry answers from cache, moved tags re-trace.
     const auto beam = static_cast<std::size_t>(tag_beam[k]);
     const reader::LinkReport& link = cache_.link(
-        tags[tag_indices[k]], tag_beam[k], codebook_[beam].boresight_rad);
+        tags[gi], tag_beam[k], codebook_[beam].boresight_rad);
+    double power_dbm = link.received_power_dbm;
+    if (faults != nullptr) power_dbm -= (*faults->tag_loss_db)[gi];
     const double rate = reader::sinr_limited_rate_bps(
-        link.received_power_dbm, plan.interference_dbm, *rates_);
-    if (rate <= 0.0) {  // Link lost since discovery: skip this tag.
+        power_dbm, plan.interference_dbm, *rates_);
+    // A blocked link swallows individual queries outright; a dead link
+    // (blockage/stuck attenuation pushed it below the rate floor) answers
+    // nothing either. Both consume a timeout in the fault path.
+    bool responded = rate > 0.0;
+    if (faults != nullptr && responded && (*faults->tag_blocked)[gi] != 0) {
+      std::uniform_real_distribution<double> uniform(0.0, 1.0);
+      responded = uniform(rng) >= faults->block_probability;
+    }
+    if (rate <= 0.0 && faults == nullptr) {
+      // Link lost since discovery: skip this tag (fault-free semantics).
       if (++dead_polls < discovered.size()) {
         queue.schedule_in(0.0, run_polling);
       }
       return;
     }
     dead_polls = 0;
-    double cost_s = poll_bits / rate;
+    double cost_s =
+        responded ? poll_bits / rate : recovery.poll_timeout_s;
     if (tag_beam[k] != poll_beam) {
       cost_s += config_.beam_switch_overhead_s;
       poll_beam = tag_beam[k];
@@ -121,8 +216,35 @@ CellEpochResult ReaderCell::run_epoch(
     if (queue.now() + cost_s > budget_s) return;  // Epoch airtime spent.
     TagService& service = result.service[k];
     ++service.polls;
-    if (poll_success(rng)) {
-      service.delivered_bits += static_cast<double>(config_.payload_bits);
+    if constexpr (obs::kObsEnabled) {
+      poll_cost_us_metric().record(
+          static_cast<std::uint64_t>(cost_s * 1e6));
+    }
+    if (responded) {
+      if (faults != nullptr) {
+        fail_count[k] = 0;
+        retry_at[k] = 0.0;
+      }
+      if (poll_success(rng)) {
+        service.delivered_bits += static_cast<double>(config_.payload_bits);
+      }
+    } else {
+      // No response: burn the timeout, back off exponentially, and after
+      // the retry budget park the tag in quarantine so a dead link stops
+      // taxing everyone else's airtime.
+      ++result.polls_timed_out;
+      const int fails = ++fail_count[k];
+      if (recovery.poll_retry_budget > 0 &&
+          fails > recovery.poll_retry_budget) {
+        benched[k] = 1;
+        quarantine_[service.tag_id] = recovery.quarantine_epochs;
+        ++result.quarantines;
+      } else {
+        retry_at[k] =
+            queue.now() + cost_s +
+            recovery.poll_backoff_base_s *
+                std::pow(2.0, static_cast<double>(fails - 1));
+      }
     }
     queue.schedule_in(cost_s, run_polling);
   };

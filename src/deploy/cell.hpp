@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <random>
+#include <unordered_map>
 #include <vector>
 
 #include "src/antenna/codebook.hpp"
@@ -20,6 +21,7 @@
 #include "src/core/tag.hpp"
 #include "src/deploy/fleet_stats.hpp"
 #include "src/deploy/link_cache.hpp"
+#include "src/fault/schedule.hpp"
 #include "src/mac/aloha.hpp"
 #include "src/phy/rate_table.hpp"
 #include "src/reader/reader.hpp"
@@ -37,6 +39,24 @@ struct CellConfig {
   /// paper's bench prototype horn.
   double sector_half_angle_rad = 3.141592653589793;
   double beamwidth_deg = 17.0;
+  /// Poll-level retry/backoff/quarantine knobs; consulted only when a
+  /// fault context is attached to the epoch.
+  fault::RecoveryConfig recovery;
+};
+
+/// Per-epoch fault state handed to run_epoch by the fleet simulator. Tag
+/// vectors are indexed by GLOBAL tag index (the values in `tag_indices`),
+/// shared read-only across all concurrently running cells. A null context
+/// pointer is the fault-free fast path — the cell touches none of this.
+struct CellFaultContext {
+  /// Scales the epoch airtime budget (partial reader outage + clock-skew
+  /// guard time). 0 = reader fully down this epoch.
+  double budget_scale = 1.0;
+  const std::vector<std::uint8_t>* tag_brownout = nullptr;
+  const std::vector<double>* tag_loss_db = nullptr;
+  const std::vector<std::uint8_t>* tag_blocked = nullptr;
+  /// P(one poll of a blocked tag gets no response at all).
+  double block_probability = 0.0;
 };
 
 /// What the coordinator grants a cell for one epoch.
@@ -53,6 +73,8 @@ struct CellEpochResult {
   int tags_discovered = 0;
   double airtime_s = 0.0;  ///< Airtime consumed (<= share * duration).
   double utilization = 0.0;  ///< airtime_s / (share * duration).
+  long polls_timed_out = 0;  ///< Unanswered polls that burned a timeout.
+  long quarantines = 0;      ///< Tags quarantined after the retry budget.
   /// Per assigned tag, same order as the `tag_indices` passed to
   /// run_epoch; first_read_s is absolute fleet time.
   std::vector<TagService> service;
@@ -71,14 +93,26 @@ class ReaderCell {
   /// Run one epoch of `duration_s` wall time starting at absolute fleet
   /// time `start_s`. `tag_indices` select this cell's tags from the shared
   /// `tags` vector; `rng` must be a cell-private stream. Touches only
-  /// cell-owned state, so distinct cells may run concurrently.
+  /// cell-owned state, so distinct cells may run concurrently. `faults`
+  /// (optional) attaches this epoch's fault state; null keeps the exact
+  /// fault-free code path, including its RNG draw sequence.
   [[nodiscard]] CellEpochResult run_epoch(
       const std::vector<core::MmTag>& tags,
       const std::vector<std::size_t>& tag_indices, const CellPlan& plan,
-      double start_s, double duration_s, std::mt19937_64& rng);
+      double start_s, double duration_s, std::mt19937_64& rng,
+      const CellFaultContext* faults = nullptr);
 
   /// Forward a tag move to the cache.
   void on_tag_moved(std::uint32_t tag_id) { cache_.invalidate_tag(tag_id); }
+
+  /// The reader came back from a full-epoch outage: drop the memoized link
+  /// state (a power-cycled reader re-calibrates) and clear the quarantine
+  /// list (pre-outage failure history is meaningless after the restart).
+  /// Returns the number of cache entries evicted.
+  std::uint64_t on_reader_restarted() {
+    quarantine_.clear();
+    return cache_.invalidate_reader(index_);
+  }
 
   [[nodiscard]] int index() const { return index_; }
   [[nodiscard]] const reader::MmWaveReader& reader() const {
@@ -100,6 +134,10 @@ class ReaderCell {
   /// many cells) can truncate a scan mid-sector; resuming instead of
   /// restarting guarantees every beam is eventually visited.
   std::size_t scan_cursor_ = 0;
+  /// Tags sitting out a quarantine, tag_id -> epochs remaining. Populated
+  /// only when epochs run with a fault context; empty-map checks keep the
+  /// fault-free path allocation- and hash-free.
+  std::unordered_map<std::uint32_t, int> quarantine_;
 };
 
 }  // namespace mmtag::deploy

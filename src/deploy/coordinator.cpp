@@ -95,6 +95,37 @@ int FleetCoordinator::reassign(const std::vector<core::MmTag>& tags,
   return handoffs;
 }
 
+int FleetCoordinator::reassign_orphans(
+    const std::vector<core::MmTag>& tags,
+    const std::vector<reader::MmWaveReader>& readers,
+    const std::vector<std::uint8_t>& live, std::vector<int>& tag_cell) {
+  assert(!readers.empty());
+  assert(live.size() == readers.size());
+  assert(tag_cell.size() == tags.size());
+  bool any_live = false;
+  for (const std::uint8_t up : live) any_live = any_live || up != 0;
+  if (!any_live) return 0;  // Total blackout: nowhere to evacuate to.
+  int handoffs = 0;
+  for (std::size_t t = 0; t < tags.size(); ++t) {
+    const channel::Vec2 pos = tags[t].pose().position;
+    int best = -1;
+    double best_d = 0.0;
+    for (std::size_t r = 0; r < readers.size(); ++r) {
+      if (live[r] == 0) continue;
+      const double d = channel::distance(readers[r].pose().position, pos);
+      if (best < 0 || d < best_d) {
+        best_d = d;
+        best = static_cast<int>(r);
+      }
+    }
+    if (tag_cell[t] != best) {
+      tag_cell[t] = best;
+      ++handoffs;
+    }
+  }
+  return handoffs;
+}
+
 std::vector<std::vector<std::size_t>> FleetCoordinator::rosters(
     const std::vector<int>& tag_cell, std::size_t cells) {
   std::vector<std::vector<std::size_t>> rosters(cells);

@@ -75,6 +75,17 @@ class FleetCoordinator {
       const std::vector<reader::MmWaveReader>& readers,
       std::vector<int>& tag_cell);
 
+  /// Outage-aware reassignment: every tag goes to its nearest *live*
+  /// reader (`live[r]` = reader r serves this epoch), which both evacuates
+  /// tags orphaned by an outage and returns them once their home reader
+  /// restarts. With every reader live this is exactly reassign(); with
+  /// every reader dead membership is left untouched (nowhere to go).
+  /// Returns the number of handoffs performed.
+  [[nodiscard]] static int reassign_orphans(
+      const std::vector<core::MmTag>& tags,
+      const std::vector<reader::MmWaveReader>& readers,
+      const std::vector<std::uint8_t>& live, std::vector<int>& tag_cell);
+
   /// Expand membership into per-cell index lists (cell order, then tag
   /// order — deterministic).
   [[nodiscard]] static std::vector<std::vector<std::size_t>> rosters(

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <memory>
 #include <random>
 
 #include "src/channel/geometry.hpp"
@@ -37,12 +38,67 @@ obs::Counter& handoffs_metric() {
       obs::Registry::instance().counter("deploy.fleet.handoffs");
   return counter;
 }
+obs::Histogram& first_read_us_metric() {
+  static obs::Histogram& hist =
+      obs::Registry::instance().histogram("deploy.fleet.first_read_us");
+  return hist;
+}
+obs::Counter& fault_counter(const char* name) {
+  return obs::Registry::instance().counter(name);
+}
+obs::Histogram& mttr_us_metric() {
+  static obs::Histogram& hist =
+      obs::Registry::instance().histogram("fault.mttr_us");
+  return hist;
+}
+obs::Histogram& recovery_epochs_metric() {
+  static obs::Histogram& hist =
+      obs::Registry::instance().histogram("fault.recovery_epochs");
+  return hist;
+}
+obs::Histogram& availability_ppm_metric() {
+  static obs::Histogram& hist =
+      obs::Registry::instance().histogram("fault.availability_ppm");
+  return hist;
+}
+
+/// Everything the chaos run observed, mirrored into the obs registry so
+/// bench --json reports carry MTTR/availability without re-running.
+void record_fault_metrics(const fault::FaultReport& report,
+                          const std::vector<double>& recoveries_s,
+                          double epoch_duration_s) {
+  if constexpr (!obs::kObsEnabled) return;
+  fault_counter("fault.reader_outages")
+      .add(static_cast<std::uint64_t>(report.reader_outages));
+  fault_counter("fault.orphan_handoffs")
+      .add(static_cast<std::uint64_t>(report.orphan_handoffs));
+  fault_counter("fault.brownout_epochs")
+      .add(static_cast<std::uint64_t>(report.tag_brownout_epochs));
+  fault_counter("fault.blocked_epochs")
+      .add(static_cast<std::uint64_t>(report.tag_blocked_epochs));
+  fault_counter("fault.polls_timed_out")
+      .add(static_cast<std::uint64_t>(report.polls_timed_out));
+  fault_counter("fault.quarantines")
+      .add(static_cast<std::uint64_t>(report.quarantines));
+  fault_counter("fault.cache_evictions").add(report.cache_evictions);
+  fault_counter("fault.orphaned_tag_ms")
+      .add(static_cast<std::uint64_t>(report.orphaned_tag_s * 1e3));
+  for (const double r : recoveries_s) {
+    mttr_us_metric().record(static_cast<std::uint64_t>(r * 1e6));
+    recovery_epochs_metric().record(static_cast<std::uint64_t>(
+        std::ceil(r / epoch_duration_s)));
+  }
+  availability_ppm_metric().record(
+      static_cast<std::uint64_t>(report.availability * 1e6));
+}
 
 }  // namespace
 
 FleetSimulator::FleetSimulator(FleetConfig config)
     : config_(std::move(config)) {
   assert(config_.epochs > 0 && config_.epoch_duration_s > 0.0);
+  // One recovery knob at fleet level: cells read their copy.
+  config_.cell.recovery = config_.recovery;
 }
 
 FleetResult FleetSimulator::run() {
@@ -76,6 +132,21 @@ FleetResult FleetSimulator::run() {
   const std::uint64_t cell_base = sim::derive_seed(config_.seed, 0x63656C6C);
   const std::uint64_t move_base = sim::derive_seed(config_.seed, 0x6D6F7665);
 
+  // Chaos: the engine exists only when a schedule is armed; a fault-free
+  // run never touches it (identical code path, identical RNG draws). All
+  // fault randomness is realized on this thread in begin_epoch, before the
+  // parallel fan-out, so thread count cannot influence a single draw.
+  std::unique_ptr<fault::FaultEngine> engine;
+  if (config_.faults.active()) {
+    engine = std::make_unique<fault::FaultEngine>(
+        config_.faults, m, n, config_.epochs, config_.epoch_duration_s,
+        sim::derive_seed(config_.seed, 0x66617574));  // "faut"
+  }
+  fault::FaultReport report;
+  long orphaned_tag_epochs = 0;
+  std::vector<CellFaultContext> fault_ctx(engine ? m : 0);
+  std::vector<std::uint8_t> live(m, 1);
+
   std::vector<TagService> merged(n);
   std::vector<CellEpochResult> epoch_results(m);
   int handoffs = 0;
@@ -86,8 +157,48 @@ FleetResult FleetSimulator::run() {
   const auto t0 = std::chrono::steady_clock::now();
   for (int e = 0; e < config_.epochs; ++e) {
     MMTAG_OBS_SPAN("deploy.fleet.epoch");
+    if (engine) {
+      const fault::EpochFaults& ef = engine->begin_epoch(e);
+      for (std::size_t r = 0; r < m; ++r) {
+        live[r] = ef.reader_up[r] > 0.0 ? 1 : 0;
+        if (ef.reader_restarted[r] != 0 &&
+            config_.recovery.invalidate_cache_on_restart) {
+          report.cache_evictions += cells[r].on_reader_restarted();
+        }
+        // Budget left after the outage and the drift guard time, as a
+        // fraction of the cell's granted airtime.
+        const double granted_s =
+            config_.epoch_duration_s * plans[r].airtime_share;
+        const double avail_s =
+            ef.reader_up[r] * granted_s - ef.reader_skew_loss_s[r];
+        fault_ctx[r].budget_scale =
+            granted_s > 0.0 ? std::clamp(avail_s / granted_s, 0.0, 1.0)
+                            : 0.0;
+        fault_ctx[r].tag_brownout = &ef.tag_brownout;
+        fault_ctx[r].tag_loss_db = &ef.tag_loss_db;
+        fault_ctx[r].tag_blocked = &ef.tag_blocked;
+        fault_ctx[r].block_probability = ef.block_probability;
+      }
+      if (config_.recovery.reassign_orphans) {
+        report.orphan_handoffs += FleetCoordinator::reassign_orphans(
+            layout.tags, readers, live, tag_cell);
+      }
+      for (std::size_t t = 0; t < n; ++t) {
+        report.tag_brownout_epochs += ef.tag_brownout[t];
+        report.tag_blocked_epochs += ef.tag_blocked[t];
+      }
+    }
     const std::vector<std::vector<std::size_t>> rosters =
         FleetCoordinator::rosters(tag_cell, m);
+    if (engine) {
+      // Tags that spend this epoch bound to a dead reader are orphaned —
+      // with re-handoff enabled this only happens in a total blackout.
+      for (std::size_t r = 0; r < m; ++r) {
+        if (live[r] == 0) {
+          orphaned_tag_epochs += static_cast<long>(rosters[r].size());
+        }
+      }
+    }
     const double start_s = e * config_.epoch_duration_s;
     pool.parallel_for(m, [&](std::size_t c) {
       // Cell-private stream: scheduling order can never leak into results.
@@ -99,7 +210,8 @@ FleetResult FleetSimulator::run() {
       }
       epoch_results[c] =
           cells[c].run_epoch(layout.tags, rosters[c], plans[c], start_s,
-                             config_.epoch_duration_s, rng);
+                             config_.epoch_duration_s, rng,
+                             engine ? &fault_ctx[c] : nullptr);
       if constexpr (obs::kObsEnabled) {
         cell_epoch_ns_metric().record(obs::TraceSink::instance().now_ns() -
                                       cell_start_ns);
@@ -124,6 +236,8 @@ FleetResult FleetSimulator::run() {
       }
       utilization_sum += cell.airtime_s / config_.epoch_duration_s;
       reads_total += static_cast<std::uint64_t>(cell.tags_discovered);
+      report.polls_timed_out += cell.polls_timed_out;
+      report.quarantines += cell.quarantines;
     }
 
     if (e + 1 < config_.epochs && config_.mobile_fraction > 0.0) {
@@ -173,7 +287,45 @@ FleetResult FleetSimulator::run() {
   if constexpr (obs::kObsEnabled) {
     tags_read_metric().add(reads_total);
     handoffs_metric().add(static_cast<std::uint64_t>(handoffs));
+    for (const TagService& tag : merged) {
+      if (tag.read) {
+        first_read_us_metric().record(
+            static_cast<std::uint64_t>(tag.first_read_s * 1e6));
+      }
+    }
   }
+  if (engine) {
+    for (const std::vector<fault::Outage>& timeline :
+         engine->outage_timelines()) {
+      for (const fault::Outage& o : timeline) {
+        if (o.start_s >= duration_s) continue;
+        ++report.reader_outages;
+        report.reader_downtime_s +=
+            std::min(o.end_s(), duration_s) - o.start_s;
+      }
+    }
+    report.orphaned_tag_s =
+        static_cast<double>(orphaned_tag_epochs) * config_.epoch_duration_s;
+    const double tag_epochs =
+        static_cast<double>(n) * static_cast<double>(config_.epochs);
+    report.availability =
+        tag_epochs > 0.0
+            ? 1.0 - static_cast<double>(orphaned_tag_epochs) / tag_epochs
+            : 1.0;
+    const std::vector<double> recoveries =
+        engine->recovery_times_s(config_.recovery.reassign_orphans);
+    double mttr_sum = 0.0;
+    for (const double r : recoveries) {
+      mttr_sum += r;
+      report.mttr_max_s = std::max(report.mttr_max_s, r);
+    }
+    report.mttr_mean_s =
+        recoveries.empty() ? 0.0
+                           : mttr_sum / static_cast<double>(recoveries.size());
+    report.stuck_tags = engine->stuck_tag_count();
+    record_fault_metrics(report, recoveries, config_.epoch_duration_s);
+  }
+  result.fault = report;
   result.last_epoch = std::move(epoch_results);
   result.plans = plans;
   result.sweep.points = m * static_cast<std::size_t>(config_.epochs);

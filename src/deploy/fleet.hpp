@@ -17,6 +17,7 @@
 #include "src/deploy/coordinator.hpp"
 #include "src/deploy/fleet_stats.hpp"
 #include "src/deploy/layout.hpp"
+#include "src/fault/engine.hpp"
 #include "src/sim/parallel.hpp"
 
 namespace mmtag::deploy {
@@ -40,10 +41,21 @@ struct FleetConfig {
   /// Disable to measure the uncached baseline (every link lookup
   /// re-traces; see bench_d1_fleet).
   bool use_link_cache = true;
+  /// Fault injection (chaos testing). A default-constructed schedule is
+  /// inactive: no engine is built and the run takes the exact fault-free
+  /// code path, RNG draw for RNG draw.
+  fault::FaultSchedule faults;
+  /// How the fleet fights back when `faults` is active (orphan re-handoff,
+  /// restart cache invalidation; poll retry knobs live in cell.recovery).
+  fault::RecoveryConfig recovery;
 };
 
 struct FleetResult {
   FleetStats stats;
+  /// What broke and how recovery coped (all-zero/availability-1 when no
+  /// schedule was attached). Digest via fault::fingerprint — kept separate
+  /// from the pinned FleetStats fingerprint.
+  fault::FaultReport fault;
   /// Per-cell results of the final epoch (cell order).
   std::vector<CellEpochResult> last_epoch;
   /// Final-epoch coordination plans (cell order).

@@ -28,14 +28,20 @@ obs::Counter& raytrace_evals_metric() {
       obs::Registry::instance().counter("deploy.cache.raytrace_evals");
   return counter;
 }
+obs::Counter& evictions_metric() {
+  static obs::Counter& counter =
+      obs::Registry::instance().counter("deploy.cache.evictions");
+  return counter;
+}
 
 }  // namespace
 
 LinkCache::LinkCache(reader::MmWaveReader reader,
                      const channel::Environment* env,
-                     const phy::RateTable* rates, bool enabled)
+                     const phy::RateTable* rates, bool enabled,
+                     int reader_id)
     : reader_(std::move(reader)), env_(env), rates_(rates),
-      enabled_(enabled) {
+      enabled_(enabled), reader_id_(reader_id) {
   assert(env_ != nullptr && rates_ != nullptr);
 }
 
@@ -78,11 +84,34 @@ const reader::LinkReport& LinkCache::link(const core::MmTag& tag,
   return entry.reports.emplace(beam_key, best).first->second;
 }
 
-void LinkCache::invalidate_tag(std::uint32_t tag_id) {
-  entries_.erase(tag_id);
+std::uint64_t LinkCache::entry_size(const TagEntry& entry) {
+  return static_cast<std::uint64_t>(entry.reports.size()) +
+         (entry.paths_valid ? 1u : 0u);
 }
 
-void LinkCache::invalidate_all() { entries_.clear(); }
+void LinkCache::invalidate_tag(std::uint32_t tag_id) {
+  const auto it = entries_.find(tag_id);
+  if (it == entries_.end()) return;
+  const std::uint64_t evicted = entry_size(it->second);
+  stats_.evictions += evicted;
+  if constexpr (obs::kObsEnabled) evictions_metric().add(evicted);
+  entries_.erase(it);
+}
+
+void LinkCache::invalidate_all() {
+  std::uint64_t evicted = 0;
+  for (const auto& [tag_id, entry] : entries_) evicted += entry_size(entry);
+  stats_.evictions += evicted;
+  if constexpr (obs::kObsEnabled) evictions_metric().add(evicted);
+  entries_.clear();
+}
+
+std::uint64_t LinkCache::invalidate_reader(int reader_id) {
+  if (reader_id != reader_id_ || reader_id < 0) return 0;
+  const std::uint64_t before = stats_.evictions;
+  invalidate_all();
+  return stats_.evictions - before;
+}
 
 void LinkCache::move_reader(core::Pose pose) {
   reader_.set_pose(pose);

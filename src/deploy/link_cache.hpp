@@ -32,6 +32,8 @@ class LinkCache {
     std::uint64_t lookups = 0;
     std::uint64_t hits = 0;  ///< Served without recomputing the report.
     std::uint64_t raytrace_evals = 0;  ///< trace_paths() invocations.
+    std::uint64_t evictions = 0;  ///< Memoized entries dropped (reports +
+                                  ///< traced path sets).
 
     [[nodiscard]] double hit_rate() const {
       return lookups > 0
@@ -42,9 +44,11 @@ class LinkCache {
 
   /// `env` and `rates` must outlive the cache. `enabled == false` turns the
   /// cache into a counting pass-through (every lookup re-traces), which is
-  /// the uncached baseline the bench compares against.
+  /// the uncached baseline the bench compares against. `reader_id` is the
+  /// fleet-wide identity invalidate_reader() matches against (-1 = none).
   LinkCache(reader::MmWaveReader reader, const channel::Environment* env,
-            const phy::RateTable* rates, bool enabled = true);
+            const phy::RateTable* rates, bool enabled = true,
+            int reader_id = -1);
 
   /// Link report for `tag` with the reader steered to `boresight_rad`.
   /// `beam_key` must identify the steering uniquely (codebook index) —
@@ -61,12 +65,20 @@ class LinkCache {
   /// Drop the whole cache (environment changed).
   void invalidate_all();
 
+  /// Bulk invalidation addressed by reader identity: if `reader_id`
+  /// matches this cache's reader, drop every memoized entry (a restarted
+  /// reader re-calibrates from scratch — stale link state must not survive
+  /// the power cycle). Returns the number of entries evicted; a non-match
+  /// is a no-op returning 0, so fleet-wide code can broadcast the call.
+  std::uint64_t invalidate_reader(int reader_id);
+
   /// Move the reader itself: re-pose and drop the whole cache.
   void move_reader(core::Pose pose);
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const reader::MmWaveReader& reader() const { return reader_; }
   [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] int reader_id() const { return reader_id_; }
 
  private:
   struct TagEntry {
@@ -75,10 +87,14 @@ class LinkCache {
     std::unordered_map<int, reader::LinkReport> reports;  ///< By beam key.
   };
 
+  /// Memoized entries held for `tag_id` (reports + traced path set).
+  [[nodiscard]] static std::uint64_t entry_size(const TagEntry& entry);
+
   reader::MmWaveReader reader_;
   const channel::Environment* env_;
   const phy::RateTable* rates_;
   bool enabled_;
+  int reader_id_;
   std::unordered_map<std::uint32_t, TagEntry> entries_;
   Stats stats_;
   reader::LinkReport scratch_;  ///< Returned storage when disabled.

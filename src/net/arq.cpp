@@ -22,13 +22,28 @@ ArqStats run_stop_and_wait(int frame_count,
 
   for (int f = 0; f < frame_count; ++f) {
     bool delivered = false;
+    bool exhausted = false;
+    int requery_budget = config.max_requeries_per_frame;
     for (int attempt = 0; attempt < config.max_attempts_per_frame;
          ++attempt) {
-      if (attempt > 0 && coin(rng) < config.query_loss_probability) {
-        // The re-query itself was lost; the tag never replayed. The slot
-        // is spent but no tag transmission happened.
-        ++stats.query_failures;
-        continue;
+      if (attempt > 0) {
+        // Each retry is preceded by a re-query; a lost one never reached
+        // the tag (no replay, no transmission), so it burns the re-query
+        // budget — not a frame attempt — and is retried immediately.
+        bool query_through = false;
+        while (requery_budget > 0) {
+          if (coin(rng) < config.query_loss_probability) {
+            ++stats.query_failures;
+            --requery_budget;
+            continue;
+          }
+          query_through = true;
+          break;
+        }
+        if (!query_through) {
+          exhausted = true;
+          break;
+        }
       }
       ++stats.transmissions;
       if (coin(rng) < frame_success_probability) {
@@ -40,6 +55,7 @@ ArqStats run_stop_and_wait(int frame_count,
       ++stats.frames_delivered;
     } else {
       ++stats.frames_failed;
+      if (exhausted) ++stats.requery_exhausted;
     }
   }
   return stats;

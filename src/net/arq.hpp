@@ -18,6 +18,12 @@ struct ArqConfig {
   /// Reader->tag re-query corruption probability (the query is short and
   /// strong, but not immune).
   double query_loss_probability = 0.01;
+  /// Lost re-queries a frame may absorb before the reader declares the
+  /// tag unreachable. This budget is independent of the transmission
+  /// attempt budget: a lost re-query never consumed tag airtime, so it
+  /// must not eat a frame retry — but an endless re-query loop against a
+  /// blocked tag must still terminate.
+  int max_requeries_per_frame = 8;
 };
 
 struct ArqStats {
@@ -25,7 +31,8 @@ struct ArqStats {
   int frames_delivered = 0;
   long transmissions = 0;      ///< Tag frame transmissions, retries included.
   long query_failures = 0;     ///< Re-queries lost before the tag replayed.
-  int frames_failed = 0;       ///< Exceeded the attempt budget.
+  int frames_failed = 0;       ///< Gave up (either budget exhausted).
+  int requery_exhausted = 0;   ///< Frames failed by the re-query budget.
 
   /// Delivered frames per transmission (<= 1; the ARQ efficiency).
   [[nodiscard]] double efficiency() const;

@@ -1,0 +1,141 @@
+#include "src/net/arq_session.hpp"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace mmtag::net {
+
+double ArqSessionResult::goodput_bps(std::size_t payload_bits) const {
+  if (elapsed_s <= 0.0) return 0.0;
+  return static_cast<double>(stats.frames_delivered) *
+         static_cast<double>(payload_bits) / elapsed_s;
+}
+
+ArqSession::ArqSession(ArqConfig config, ArqTiming timing)
+    : config_(config), timing_(timing) {
+  assert(config_.max_attempts_per_frame > 0);
+  assert(timing_.frame_time_s >= 0.0 && timing_.query_time_s >= 0.0 &&
+         timing_.query_timeout_s >= 0.0);
+}
+
+namespace {
+
+/// Transfer state threaded through the event chain. Every scheduled event
+/// captures the shared_ptr, so the state lives exactly as long as an
+/// on-air step is still pending.
+struct TransferState {
+  ArqConfig config;
+  ArqTiming timing;
+  int frame_count = 0;
+  double frame_success_probability = 0.0;
+  std::mt19937_64* rng = nullptr;
+  std::function<void(const ArqSessionResult&)> done;
+  mac::EventQueue* queue = nullptr;
+  double start_time_s = 0.0;
+
+  ArqStats stats;
+  int frame = 0;
+  int attempt = 0;
+  int requery_budget = 0;
+  std::uniform_real_distribution<double> coin{0.0, 1.0};
+};
+
+void step(const std::shared_ptr<TransferState>& self);
+
+void finish_frame(const std::shared_ptr<TransferState>& self, bool delivered,
+                  bool exhausted) {
+  TransferState& s = *self;
+  if (delivered) {
+    ++s.stats.frames_delivered;
+  } else {
+    ++s.stats.frames_failed;
+    if (exhausted) ++s.stats.requery_exhausted;
+  }
+  ++s.frame;
+  s.attempt = 0;
+  s.requery_budget = s.config.max_requeries_per_frame;
+  step(self);
+}
+
+/// Perform the next on-air action and schedule its completion. The draw
+/// order (re-query coin before transmission coin) matches
+/// run_stop_and_wait exactly, so the two agree event for event on a
+/// shared RNG stream.
+void step(const std::shared_ptr<TransferState>& self) {
+  TransferState& s = *self;
+  if (s.frame >= s.frame_count) {
+    ArqSessionResult result;
+    result.stats = s.stats;
+    result.elapsed_s = s.queue->now() - s.start_time_s;
+    if (s.done) s.done(result);
+    return;
+  }
+  if (s.attempt >= s.config.max_attempts_per_frame) {
+    finish_frame(self, /*delivered=*/false, /*exhausted=*/false);
+    return;
+  }
+  if (s.attempt > 0) {
+    if (s.requery_budget <= 0) {
+      finish_frame(self, /*delivered=*/false, /*exhausted=*/true);
+      return;
+    }
+    if (s.coin(*s.rng) < s.config.query_loss_probability) {
+      // Lost re-query: the reader sent the query and held the listen
+      // window open for a replay that never came. That is pure wall-clock
+      // waste — the fault-injection point this session exists for.
+      ++s.stats.query_failures;
+      --s.requery_budget;
+      s.queue->schedule_in(s.timing.query_time_s + s.timing.query_timeout_s,
+                           [self] { step(self); });
+      return;
+    }
+  }
+  ++s.stats.transmissions;
+  const bool delivered = s.coin(*s.rng) < s.frame_success_probability;
+  s.queue->schedule_in(
+      s.timing.query_time_s + s.timing.frame_time_s, [self, delivered] {
+        if (delivered) {
+          finish_frame(self, /*delivered=*/true, /*exhausted=*/false);
+        } else {
+          ++self->attempt;
+          step(self);
+        }
+      });
+}
+
+}  // namespace
+
+void ArqSession::start(mac::EventQueue& queue, int frame_count,
+                       double frame_success_probability,
+                       std::mt19937_64& rng,
+                       std::function<void(const ArqSessionResult&)> done) {
+  assert(frame_count >= 0);
+  assert(frame_success_probability >= 0.0 &&
+         frame_success_probability <= 1.0);
+  auto state = std::make_shared<TransferState>();
+  state->config = config_;
+  state->timing = timing_;
+  state->frame_count = frame_count;
+  state->frame_success_probability = frame_success_probability;
+  state->rng = &rng;
+  state->done = std::move(done);
+  state->queue = &queue;
+  state->start_time_s = queue.now();
+  state->stats.frames_offered = frame_count;
+  state->requery_budget = config_.max_requeries_per_frame;
+  queue.schedule_in(0.0, [state] { step(state); });
+}
+
+ArqSessionResult ArqSession::run(int frame_count,
+                                 double frame_success_probability,
+                                 std::mt19937_64& rng) {
+  mac::EventQueue queue;
+  ArqSessionResult result;
+  start(queue, frame_count, frame_success_probability, rng,
+        [&result](const ArqSessionResult& r) { result = r; });
+  queue.run();
+  return result;
+}
+
+}  // namespace mmtag::net

@@ -1,0 +1,70 @@
+// ARQ with a clock: stop-and-wait over the backscatter link where every
+// on-air action — including the failures — costs wall time.
+//
+// run_stop_and_wait (arq.hpp) counts events; a fleet under fault injection
+// needs to know what those events *cost*: a lost re-query is a query plus
+// a listen window the reader burned for nothing, and that airtime has to
+// come out of somebody's epoch budget. ArqSession attaches an ArqTiming to
+// the same retransmission process and sequences it on a mac::EventQueue,
+// so query failures consume wall-clock exactly like real guard time
+// instead of being free. The event-count statistics remain draw-for-draw
+// identical to run_stop_and_wait under the same RNG stream — tests pin
+// that equivalence.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <random>
+
+#include "src/mac/event_queue.hpp"
+#include "src/net/arq.hpp"
+
+namespace mmtag::net {
+
+/// On-air costs of one ARQ step. Derive frame_time_s from the PHY rate
+/// (frame bits / rate) for link-accurate sessions.
+struct ArqTiming {
+  double frame_time_s = 10e-6;    ///< Tag replay on-air time.
+  double query_time_s = 1e-6;     ///< Reader query on-air time.
+  /// Listen window the reader holds open for a replay that never comes
+  /// (lost re-query) before concluding the query failed.
+  double query_timeout_s = 5e-6;
+};
+
+struct ArqSessionResult {
+  ArqStats stats;
+  /// Wall-clock consumed: transmissions * (query + frame) +
+  /// query_failures * (query + timeout). Exact by construction.
+  double elapsed_s = 0.0;
+
+  /// Delivered payload per unit wall time.
+  [[nodiscard]] double goodput_bps(std::size_t payload_bits) const;
+};
+
+/// Stop-and-wait ARQ sequenced on an event queue with explicit timing.
+class ArqSession {
+ public:
+  ArqSession(ArqConfig config, ArqTiming timing);
+
+  /// Synchronous convenience: run the whole transfer on a private queue.
+  [[nodiscard]] ArqSessionResult run(int frame_count,
+                                     double frame_success_probability,
+                                     std::mt19937_64& rng);
+
+  /// Event-driven form: schedule the transfer on `queue` starting at the
+  /// current queue time; `done` fires (at the completion instant) with the
+  /// final result. `rng` must outlive the transfer. Multiple sessions may
+  /// interleave on one queue — each event covers exactly one on-air step.
+  void start(mac::EventQueue& queue, int frame_count,
+             double frame_success_probability, std::mt19937_64& rng,
+             std::function<void(const ArqSessionResult&)> done);
+
+  [[nodiscard]] const ArqConfig& config() const { return config_; }
+  [[nodiscard]] const ArqTiming& timing() const { return timing_; }
+
+ private:
+  ArqConfig config_;
+  ArqTiming timing_;
+};
+
+}  // namespace mmtag::net

@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/mac/event_queue.hpp"
 #include "src/net/arq.hpp"
+#include "src/net/arq_session.hpp"
 #include "src/net/session.hpp"
 #include "src/phys/constants.hpp"
 #include "src/phys/units.hpp"
@@ -67,6 +69,129 @@ TEST(Arq, GoodputFactorInRange) {
   EXPECT_LE(arq_goodput_factor(1.0, config), 1.0);
   EXPECT_GT(arq_goodput_factor(0.5, config),
             arq_goodput_factor(0.25, config));
+}
+
+TEST(Arq, RequeryBudgetIsIndependentOfFrameRetries) {
+  // Heavy query loss must not starve the transmission budget: a lost
+  // re-query never reached the tag, so it burns the re-query budget and
+  // the per-frame transmission count stays geometric in p alone.
+  auto rng = sim::make_rng(146);
+  ArqConfig config;
+  config.query_loss_probability = 0.5;
+  config.max_requeries_per_frame = 100;
+  const double p = 0.5;
+  const ArqStats stats = run_stop_and_wait(4000, p, config, rng);
+  EXPECT_EQ(stats.frames_delivered, 4000);
+  EXPECT_EQ(stats.requery_exhausted, 0);
+  EXPECT_GT(stats.query_failures, 0);
+  const double measured =
+      static_cast<double>(stats.transmissions) / stats.frames_delivered;
+  EXPECT_NEAR(measured, 1.0 / p, 0.1);  // Unchanged by q = 0.5.
+}
+
+TEST(Arq, RequeryExhaustionTerminatesAndIsCounted) {
+  // A silent tag behind a channel that loses every re-query: each frame
+  // costs exactly one transmission (the first attempt needs no re-query),
+  // then drains the whole re-query budget and gives up.
+  auto rng = sim::make_rng(147);
+  ArqConfig config;
+  config.query_loss_probability = 1.0;
+  const ArqStats stats = run_stop_and_wait(10, 0.0, config, rng);
+  EXPECT_EQ(stats.frames_delivered, 0);
+  EXPECT_EQ(stats.frames_failed, 10);
+  EXPECT_EQ(stats.requery_exhausted, 10);
+  EXPECT_EQ(stats.transmissions, 10);
+  EXPECT_EQ(stats.query_failures,
+            10L * config.max_requeries_per_frame);
+  EXPECT_DOUBLE_EQ(stats.efficiency(), 0.0);
+}
+
+TEST(ArqSession, PerfectChannelElapsedIsExact) {
+  auto rng = sim::make_rng(148);
+  const ArqTiming timing;
+  ArqSession session(ArqConfig{}, timing);
+  const ArqSessionResult result = session.run(50, 1.0, rng);
+  EXPECT_EQ(result.stats.frames_delivered, 50);
+  EXPECT_NEAR(result.elapsed_s,
+              50.0 * (timing.query_time_s + timing.frame_time_s), 1e-12);
+  EXPECT_GT(result.goodput_bps(96), 0.0);
+}
+
+TEST(ArqSession, StatsMatchRunStopAndWaitDrawForDraw) {
+  // Same RNG stream, same coin order: the timed session must agree with
+  // the untimed reference event for event, not just statistically.
+  ArqConfig config;
+  config.query_loss_probability = 0.3;
+  auto rng_a = sim::make_rng(149);
+  auto rng_b = sim::make_rng(149);
+  const ArqStats reference = run_stop_and_wait(2000, 0.6, config, rng_a);
+  ArqSession session(config, ArqTiming{});
+  const ArqSessionResult timed = session.run(2000, 0.6, rng_b);
+  EXPECT_EQ(timed.stats.frames_offered, reference.frames_offered);
+  EXPECT_EQ(timed.stats.frames_delivered, reference.frames_delivered);
+  EXPECT_EQ(timed.stats.transmissions, reference.transmissions);
+  EXPECT_EQ(timed.stats.query_failures, reference.query_failures);
+  EXPECT_EQ(timed.stats.frames_failed, reference.frames_failed);
+  EXPECT_EQ(timed.stats.requery_exhausted, reference.requery_exhausted);
+}
+
+TEST(ArqSession, ElapsedDecomposesIntoTransmissionsAndTimeouts) {
+  ArqConfig config;
+  config.query_loss_probability = 0.4;
+  ArqTiming timing;
+  timing.frame_time_s = 8e-6;
+  timing.query_time_s = 1e-6;
+  timing.query_timeout_s = 4e-6;
+  auto rng = sim::make_rng(150);
+  ArqSession session(config, timing);
+  const ArqSessionResult result = session.run(500, 0.5, rng);
+  const double predicted =
+      static_cast<double>(result.stats.transmissions) *
+          (timing.query_time_s + timing.frame_time_s) +
+      static_cast<double>(result.stats.query_failures) *
+          (timing.query_time_s + timing.query_timeout_s);
+  EXPECT_GT(result.stats.query_failures, 0);
+  EXPECT_NEAR(result.elapsed_s, predicted, predicted * 1e-9);
+}
+
+TEST(ArqSession, LostRequeriesConsumeWallClock) {
+  // Dead tag, dead queries: the transfer delivers nothing but still
+  // consumes precisely the scripted amount of airtime.
+  ArqConfig config;
+  config.query_loss_probability = 1.0;
+  const ArqTiming timing;
+  auto rng = sim::make_rng(151);
+  ArqSession session(config, timing);
+  const ArqSessionResult result = session.run(10, 0.0, rng);
+  const double per_frame =
+      (timing.query_time_s + timing.frame_time_s) +
+      static_cast<double>(config.max_requeries_per_frame) *
+          (timing.query_time_s + timing.query_timeout_s);
+  EXPECT_NEAR(result.elapsed_s, 10.0 * per_frame, 1e-12);
+  EXPECT_EQ(result.stats.requery_exhausted, 10);
+  EXPECT_DOUBLE_EQ(result.goodput_bps(96), 0.0);
+}
+
+TEST(ArqSession, InterleavesOnASharedEventQueue) {
+  mac::EventQueue queue;
+  auto rng_a = sim::make_rng(152);
+  auto rng_b = sim::make_rng(153);
+  const ArqTiming timing;
+  ArqSession session(ArqConfig{}, timing);
+  ArqSessionResult a;
+  ArqSessionResult b;
+  session.start(queue, 20, 1.0, rng_a,
+                [&a](const ArqSessionResult& r) { a = r; });
+  session.start(queue, 10, 1.0, rng_b,
+                [&b](const ArqSessionResult& r) { b = r; });
+  queue.run();
+  EXPECT_EQ(a.stats.frames_delivered, 20);
+  EXPECT_EQ(b.stats.frames_delivered, 10);
+  // Each transfer's elapsed time covers its own on-air steps only.
+  EXPECT_NEAR(a.elapsed_s,
+              20.0 * (timing.query_time_s + timing.frame_time_s), 1e-12);
+  EXPECT_NEAR(b.elapsed_s,
+              10.0 * (timing.query_time_s + timing.frame_time_s), 1e-12);
 }
 
 reader::LinkReport link_with_power(double dbm) {

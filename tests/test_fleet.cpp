@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "src/deploy/layout.hpp"
+#include "src/fault/schedule.hpp"
 #include "src/sim/parallel.hpp"
 
 namespace mmtag::deploy {
@@ -175,6 +176,68 @@ TEST(FleetCoordinator, ChannelizationReducesInterferenceLoad) {
   EXPECT_LT(worst_part, worst_raw);
   // Less interference can only help service.
   EXPECT_GE(part.stats.tags_read, raw.stats.tags_read);
+}
+
+TEST(FleetFaults, SimultaneousMultiReaderLossEvacuatesEveryTag) {
+  FleetConfig config = small_fleet();
+  config.epochs = 4;
+  // Readers 0-2 all die for epochs 1-2 (D = 0.02 s): one survivor left.
+  for (const int r : {0, 1, 2}) {
+    config.faults.outages.scripted.push_back(
+        fault::ScriptedOutage{r, 0.02, 0.04});
+  }
+  const FleetResult result = FleetSimulator(config).run();
+  // Every orphan re-homed to the survivor: zero orphaned tag-seconds.
+  EXPECT_EQ(result.fault.reader_outages, 3);
+  EXPECT_GT(result.fault.orphan_handoffs, 0);
+  EXPECT_DOUBLE_EQ(result.fault.orphaned_tag_s, 0.0);
+  EXPECT_DOUBLE_EQ(result.fault.availability, 1.0);
+  EXPECT_GT(result.stats.tags_read, 0);
+  // And the evacuation is reproducible bit for bit.
+  const FleetResult again = FleetSimulator(config).run();
+  EXPECT_EQ(fingerprint(result.stats), fingerprint(again.stats));
+  EXPECT_EQ(fault::fingerprint(result.fault),
+            fault::fingerprint(again.fault));
+}
+
+TEST(FleetFaults, TotalBlackoutHasNowhereToEvacuate) {
+  FleetConfig config = small_fleet();
+  config.epochs = 3;
+  for (int r = 0; r < 4; ++r) {
+    config.faults.outages.scripted.push_back(
+        fault::ScriptedOutage{r, 0.02, 0.02});  // Epoch 1: all dark.
+  }
+  const FleetResult result = FleetSimulator(config).run();
+  // Re-handoff cannot help when no reader is live: one epoch of total
+  // orphanhood for all 60 tags.
+  EXPECT_NEAR(result.fault.availability, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(result.fault.orphaned_tag_s, 60.0 * 0.02, 1e-9);
+  EXPECT_EQ(result.fault.reader_outages, 4);
+}
+
+TEST(FleetFaults, FaultedAggregatesBitIdenticalAcrossThreadCounts) {
+  FleetConfig base = small_fleet();
+  base.epochs = 3;
+  base.faults = fault::FaultSchedule::chaos(0.7);
+
+  std::uint64_t fleet_ref = 0;
+  std::uint64_t fault_ref = 0;
+  bool first = true;
+  for (const int threads : {1, 4, sim::default_thread_count()}) {
+    FleetConfig config = base;
+    config.threads = threads;
+    const FleetResult result = FleetSimulator(config).run();
+    const std::uint64_t fleet_fp = fingerprint(result.stats);
+    const std::uint64_t fault_fp = fault::fingerprint(result.fault);
+    if (first) {
+      fleet_ref = fleet_fp;
+      fault_ref = fault_fp;
+      first = false;
+    } else {
+      EXPECT_EQ(fleet_fp, fleet_ref) << "threads=" << threads;
+      EXPECT_EQ(fault_fp, fault_ref) << "threads=" << threads;
+    }
+  }
 }
 
 }  // namespace

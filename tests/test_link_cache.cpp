@@ -114,6 +114,53 @@ TEST_F(LinkCacheTest, MoveReaderDropsEverything) {
   EXPECT_DOUBLE_EQ(cache.reader().pose().position.x, 0.5);
 }
 
+TEST_F(LinkCacheTest, InvalidateTagCountsEvictions) {
+  LinkCache cache = make_cache();
+  (void)cache.link(tag_, 0, 0.0);
+  (void)cache.link(tag_, 1, 0.3);
+  cache.invalidate_tag(tag_.id());
+  // Two memoized reports plus the traced path set.
+  EXPECT_EQ(cache.stats().evictions, 3u);
+  cache.invalidate_tag(tag_.id());  // Already gone: nothing to count.
+  EXPECT_EQ(cache.stats().evictions, 3u);
+}
+
+TEST_F(LinkCacheTest, InvalidateReaderBulkEvictsOnlyOnMatch) {
+  LinkCache cache(
+      reader::MmWaveReader::prototype_at(core::Pose{{0.0, 1.0}, 0.0}),
+      &env_, &rates_, /*enabled=*/true, /*reader_id=*/5);
+  const core::MmTag other =
+      core::MmTag::prototype_at(core::Pose{{2.5, 1.5}, 3.0}, /*id=*/8);
+  (void)cache.link(tag_, 0, 0.0);
+  (void)cache.link(tag_, 1, 0.3);
+  (void)cache.link(other, 0, 0.0);
+
+  // Another reader's restart broadcast is a no-op here.
+  EXPECT_EQ(cache.invalidate_reader(3), 0u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // A match drops everything: (2 reports + paths) + (1 report + paths).
+  EXPECT_EQ(cache.invalidate_reader(5), 5u);
+  EXPECT_EQ(cache.stats().evictions, 5u);
+
+  // Cold again: the next lookup re-traces...
+  (void)cache.link(tag_, 0, 0.0);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().raytrace_evals, 3u);
+  // ...and a second restart evicts exactly the rebuilt entries.
+  EXPECT_EQ(cache.invalidate_reader(5), 2u);
+}
+
+TEST_F(LinkCacheTest, UnidentifiedReaderIgnoresBulkInvalidation) {
+  LinkCache cache = make_cache();  // Default identity: -1 (none).
+  (void)cache.link(tag_, 0, 0.0);
+  EXPECT_EQ(cache.invalidate_reader(-1), 0u);  // Negative never matches...
+  EXPECT_EQ(cache.invalidate_reader(0), 0u);   // ...and neither does 0.
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  (void)cache.link(tag_, 0, 0.0);
+  EXPECT_EQ(cache.stats().hits, 1u);  // Still warm.
+}
+
 TEST_F(LinkCacheTest, DisabledCacheRetracesEveryLookup) {
   LinkCache cache = make_cache(/*enabled=*/false);
   const double a = cache.link(tag_, 0, 0.0).received_power_dbm;
