@@ -66,7 +66,10 @@ int main(int argc, char** argv) {
   parser.add_int("--readers", &readers, "reader count for the headline run");
   parser.add_int("--tags", &tags, "tag count for the headline run");
   parser.add_int("--epochs", &epochs, "epochs per fleet run");
+  std::string kern_name;
+  bench::add_kern_flag(parser, &kern_name);
   if (!parser.parse(argc, argv)) return parser.exit_code();
+  if (!bench::apply_kern_flag(kern_name)) return 2;
   bench::Harness harness(parser.options());
   const std::uint64_t seed = parser.options().seed;
   bool fail = false;

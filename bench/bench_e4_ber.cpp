@@ -8,20 +8,80 @@
 // to hardware concurrency) with one deterministic RNG stream per point, so
 // the numbers are identical at any thread count.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_main.hpp"
+#include "src/kern/kern.hpp"
 #include "src/phy/ber.hpp"
 #include "src/sim/link_sim.hpp"
 #include "src/sim/parallel.hpp"
 #include "src/sim/sweep.hpp"
 #include "src/sim/table.hpp"
 
+namespace {
+
+// --check-kern: run a reduced sweep under the scalar reference and the
+// auto-dispatched backend and require identical error counts. This is the
+// executable-level version of the test_kern.cpp determinism test — CI runs
+// it so a dispatch regression fails the bench stage, not just ctest.
+int run_kern_determinism_check(mmtag::sim::ThreadPool& pool,
+                               std::uint64_t seed) {
+  using namespace mmtag;
+  sim::MonteCarloLink::Params params;
+  params.min_bits = 10'000;
+  params.max_bits = 10'000;
+  const sim::MonteCarloLink link{params};
+  const std::vector<double> snrs = sim::linspace(0.0, 12.0, 7);
+
+  if (!kern::set_backend(kern::Backend::kScalar)) return 2;
+  const sim::BerSweepResult scalar_sweep =
+      link.measure_ber_sweep(snrs, seed + 2999, pool);
+  if (!kern::set_backend(kern::Backend::kAuto)) return 2;
+  const sim::BerSweepResult auto_sweep =
+      link.measure_ber_sweep(snrs, seed + 2999, pool);
+
+  int mismatches = 0;
+  for (std::size_t i = 0; i < snrs.size(); ++i) {
+    const auto& s = scalar_sweep.points[i];
+    const auto& a = auto_sweep.points[i];
+    if (s.bits_sent != a.bits_sent || s.bit_errors != a.bit_errors) {
+      std::fprintf(stderr,
+                   "kern mismatch at %.1f dB: scalar %llu/%llu vs %s "
+                   "%llu/%llu\n",
+                   snrs[i],
+                   static_cast<unsigned long long>(s.bit_errors),
+                   static_cast<unsigned long long>(s.bits_sent),
+                   kern::dispatch().name,
+                   static_cast<unsigned long long>(a.bit_errors),
+                   static_cast<unsigned long long>(a.bits_sent));
+      ++mismatches;
+    }
+  }
+  if (mismatches > 0) return 1;
+  std::printf("kern determinism: scalar == %s on %zu SNR points\n",
+              kern::dispatch().name, snrs.size());
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace mmtag;
   bench::Parser parser("e4_ber",
                        "waveform-level OOK BER/FER vs the analytic forms");
+  std::string kern_name;
+  bench::add_kern_flag(parser, &kern_name);
+  bool check_kern = false;
+  parser.add_flag("--check-kern", &check_kern,
+                  "verify scalar and auto backends produce identical "
+                  "error counts, then exit");
   if (!parser.parse(argc, argv)) return parser.exit_code();
+  if (!bench::apply_kern_flag(kern_name)) return 2;
+  if (check_kern) {
+    sim::ThreadPool check_pool = bench::make_pool(parser.options());
+    return run_kern_determinism_check(check_pool, parser.options().seed);
+  }
   bench::Harness harness(parser.options());
 
   sim::MonteCarloLink::Params params;

@@ -19,6 +19,10 @@
 // comparison — see src/obs/bench.hpp for the harness itself.
 #pragma once
 
+#include <cstdio>
+#include <string>
+
+#include "src/kern/kern.hpp"
 #include "src/obs/bench.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/sim/parallel.hpp"
@@ -28,6 +32,35 @@ namespace mmtag::bench {
 /// Thread pool honouring the standard --threads flag (0 = default count).
 [[nodiscard]] inline sim::ThreadPool make_pool(const Options& options) {
   return sim::ThreadPool(options.threads);
+}
+
+/// Register the shared --kern flag. `value` holds the parsed backend name
+/// and must outlive parse(); pass it to apply_kern_flag afterwards.
+inline void add_kern_flag(Parser& parser, std::string* value) {
+  parser.add_string("--kern", value,
+                    "force SIMD backend: scalar|sse4.2|avx2|neon|auto "
+                    "(default: auto / $MMTAG_KERN)");
+}
+
+/// Apply a parsed --kern value to the process-wide dispatch table.
+/// Empty string means "leave the default resolution alone". Returns
+/// false (with a message on stderr) for unknown or unavailable backends
+/// so benches can exit 2 like any other malformed flag.
+[[nodiscard]] inline bool apply_kern_flag(const std::string& value) {
+  if (value.empty()) return true;
+  const auto backend = kern::parse_backend(value);
+  if (!backend.has_value()) {
+    std::fprintf(stderr, "error: unknown --kern backend '%s'\n",
+                 value.c_str());
+    return false;
+  }
+  if (!kern::set_backend(*backend)) {
+    std::fprintf(stderr, "error: --kern backend '%s' not available on this "
+                         "host\n",
+                 value.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace mmtag::bench

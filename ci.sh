@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
 # CI entry point: tier-1 verify in Release and Debug with warnings as
-# errors, a bench-smoke stage that exercises the JSON/compare pipeline,
-# and an ASan+UBSan pass. Usage: ./ci.sh [extra ctest args...]
+# errors (test suite run twice: forced-scalar and auto SIMD dispatch), a
+# bench-smoke stage that exercises the JSON/compare pipeline plus the
+# kernel-backend determinism gate, an ASan+UBSan pass, and a docs stage
+# (skipped with a notice when doxygen is absent).
+# Usage: ./ci.sh [extra ctest args...]
 set -eu
 
 for config in Release Debug; do
@@ -11,13 +14,21 @@ for config in Release Debug; do
     -DCMAKE_BUILD_TYPE="${config}" \
     -DCMAKE_CXX_FLAGS="-Werror"
   cmake --build "${build_dir}" -j
-  (cd "${build_dir}" && ctest --output-on-failure -j "$@")
+  # Whole suite under both dispatch modes: the scalar run proves the
+  # reference implementations, the auto run proves the SIMD backends the
+  # host supports (they must be bit-identical — see tests/test_kern.cpp).
+  for kern in scalar auto; do
+    echo "--- ctest (MMTAG_KERN=${kern}) ---"
+    (cd "${build_dir}" && MMTAG_KERN="${kern}" ctest --output-on-failure -j "$@")
+  done
 done
 
-echo "=== Bench smoke (JSON schema + self-compare) ==="
+echo "=== Bench smoke (JSON schema + self-compare + kern determinism) ==="
 # Reduced-size runs through the full harness path: write a
 # schema-validated BENCH_*.json, then self-compare (exit 1 on
-# regression, 2 on schema error). Reports are archived in bench-out/.
+# regression, 2 on schema error). Reports are archived in bench-out/,
+# including the per-backend kernel report CI publishes for speedup
+# tracking.
 bench_dir="build-ci-release/bench"
 out_dir="bench-out"
 mkdir -p "${out_dir}"
@@ -25,6 +36,7 @@ mkdir -p "${out_dir}"
   --json "${out_dir}/BENCH_kernels.json" > /dev/null
 "${bench_dir}/bench_kernels" --csv --warmup 1 --repeat 3 \
   --compare "${out_dir}/BENCH_kernels.json" --threshold 1.0 > /dev/null
+"${bench_dir}/bench_e4_ber" --check-kern
 "${bench_dir}/bench_d1_fleet" --csv --readers 4 --tags 100 --epochs 4 \
   --json "${out_dir}/BENCH_d1_fleet.json" > /dev/null
 "${bench_dir}/bench_d1_fleet" --csv --readers 4 --tags 100 --epochs 4 \
@@ -39,7 +51,12 @@ cmake -B "${build_dir}" -S . \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build "${build_dir}" -j --target mmtag_tests bench_d1_fleet \
   bench_d2_chaos
-(cd "${build_dir}" && ctest --output-on-failure -j "$@")
+# Both dispatch modes under the sanitizers: the SIMD loadu/storeu edge
+# handling is exactly where ASan earns its keep.
+for kern in scalar auto; do
+  echo "--- ctest ASan+UBSan (MMTAG_KERN=${kern}) ---"
+  (cd "${build_dir}" && MMTAG_KERN="${kern}" ctest --output-on-failure -j "$@")
+done
 # Drive the instrumented fleet bench (spans, counters, cache histograms)
 # under the sanitizers at reduced size.
 "${build_dir}/bench/bench_d1_fleet" --csv --readers 2 --tags 50 --epochs 2 \
@@ -58,4 +75,15 @@ echo "=== Chaos smoke (fault injection under ASan, obs metrics on) ==="
   --compare "${out_dir}/BENCH_d2_chaos.json" --threshold 1.0 > /dev/null
 echo "chaos smoke OK: ${out_dir}/BENCH_d2_chaos.json"
 
-echo "=== CI OK: Release + Debug (-Werror), bench smoke, ASan+UBSan, chaos smoke ==="
+echo "=== Docs (Doxygen, warnings fatal for src/kern src/obs src/fault) ==="
+# The Doxyfile sets WARN_AS_ERROR, so undocumented public members in the
+# covered directories fail this stage. Containers without doxygen skip it
+# with a notice rather than masquerading as a pass elsewhere.
+if command -v doxygen > /dev/null 2>&1; then
+  cmake --build build-ci-release --target docs
+  echo "docs OK: build-ci-release/docs/html"
+else
+  echo "docs SKIPPED: doxygen not installed on this host"
+fi
+
+echo "=== CI OK: Release + Debug (-Werror, scalar+auto), bench smoke, ASan+UBSan, chaos smoke, docs ==="

@@ -1,15 +1,41 @@
 #include "src/phy/crc.hpp"
 
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/kern/kern.hpp"
+
 namespace mmtag::phy {
 
-std::uint16_t crc16_ccitt(const BitVector& bits) {
-  std::uint16_t crc = 0xFFFF;
-  for (const bool bit : bits) {
-    const bool msb = (crc & 0x8000) != 0;
-    crc = static_cast<std::uint16_t>(crc << 1);
-    if (msb != bit) crc ^= 0x1021;
+namespace {
+
+// CRC over the first `nbits` of `bits`: pack MSB-first into bytes (a
+// stack buffer covers every realistic frame) and hand off to the
+// dispatch table — bitwise on the scalar backend, slicing-by-8 on the
+// accelerated ones. Bit-exact either way.
+std::uint16_t crc_over_prefix(const BitVector& bits, std::size_t nbits) {
+  const std::size_t nbytes = (nbits + 7) / 8;
+  std::array<std::uint8_t, 512> stack_bytes;
+  std::vector<std::uint8_t> heap_bytes;
+  std::uint8_t* bytes;
+  if (nbytes <= stack_bytes.size()) {
+    stack_bytes.fill(0);
+    bytes = stack_bytes.data();
+  } else {
+    heap_bytes.assign(nbytes, 0);
+    bytes = heap_bytes.data();
   }
-  return crc;
+  for (std::size_t i = 0; i < nbits; ++i) {
+    if (bits[i]) bytes[i / 8] |= static_cast<std::uint8_t>(1u << (7 - i % 8));
+  }
+  return kern::dispatch().crc16_bits(bytes, nbits);
+}
+
+}  // namespace
+
+std::uint16_t crc16_ccitt(const BitVector& bits) {
+  return crc_over_prefix(bits, bits.size());
 }
 
 void append_crc16(BitVector& bits) {
@@ -21,8 +47,7 @@ void append_crc16(BitVector& bits) {
 
 bool check_crc16(const BitVector& bits) {
   if (bits.size() < 16) return false;
-  BitVector payload(bits.begin(), bits.end() - 16);
-  const std::uint16_t expected = crc16_ccitt(payload);
+  const std::uint16_t expected = crc_over_prefix(bits, bits.size() - 16);
   std::uint16_t received = 0;
   for (std::size_t i = bits.size() - 16; i < bits.size(); ++i) {
     received = static_cast<std::uint16_t>((received << 1) | (bits[i] ? 1 : 0));

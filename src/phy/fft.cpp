@@ -1,12 +1,64 @@
 #include "src/phy/fft.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
 
+#include "src/kern/kern.hpp"
 #include "src/phys/constants.hpp"
 
 namespace mmtag::phy {
+
+namespace {
+
+// Process-wide twiddle cache. A table for an n-point transform is the
+// concatenation of the per-stage twiddles (stage `len` contributes
+// w_k = exp(sign*2*pi*i*k/len) for k < len/2), n-1 entries total, laid
+// out contiguously in stage order so the butterfly kernel streams them.
+// Tables are immutable once published; shared_ptr keeps a table alive
+// for callers that grabbed it before a concurrent clear().
+struct TwiddleCache {
+  std::mutex mutex;
+  std::map<std::pair<std::size_t, bool>,
+           std::shared_ptr<const std::vector<Complex>>>
+      tables;
+  std::atomic<std::uint64_t> builds{0};
+};
+
+TwiddleCache& twiddle_cache() {
+  static TwiddleCache cache;
+  return cache;
+}
+
+std::shared_ptr<const std::vector<Complex>> twiddles_for(std::size_t n,
+                                                         bool inverse) {
+  TwiddleCache& cache = twiddle_cache();
+  const auto key = std::make_pair(n, inverse);
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  if (const auto it = cache.tables.find(key); it != cache.tables.end()) {
+    return it->second;
+  }
+  auto table = std::make_shared<std::vector<Complex>>();
+  table->reserve(n - 1);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      table->push_back(std::polar(
+          1.0, sign * phys::kTwoPi * static_cast<double>(k) /
+                   static_cast<double>(len)));
+    }
+  }
+  cache.builds.fetch_add(1, std::memory_order_relaxed);
+  cache.tables.emplace(key, table);
+  return table;
+}
+
+}  // namespace
 
 void fft(std::vector<Complex>& data, bool inverse) {
   const std::size_t n = data.size();
@@ -21,27 +73,35 @@ void fft(std::vector<Complex>& data, bool inverse) {
     if (i < j) std::swap(data[i], data[j]);
   }
 
-  // Butterflies.
+  // Butterfly stages on the dispatch table, twiddles from the cache.
+  const auto twiddles = twiddles_for(n, inverse);
+  const kern::Kernels& kernels = kern::dispatch();
+  std::size_t stage_offset = 0;
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle =
-        (inverse ? 1.0 : -1.0) * phys::kTwoPi / static_cast<double>(len);
-    const Complex w_len = std::polar(1.0, angle);
-    for (std::size_t start = 0; start < n; start += len) {
-      Complex w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex even = data[start + k];
-        const Complex odd = data[start + k + len / 2] * w;
-        data[start + k] = even + odd;
-        data[start + k + len / 2] = even - odd;
-        w *= w_len;
-      }
-    }
+    kernels.butterfly_pass(data.data(), n, len,
+                           twiddles->data() + stage_offset);
+    stage_offset += len / 2;
   }
 
   if (inverse) {
-    const double scale = 1.0 / static_cast<double>(n);
-    for (Complex& x : data) x *= scale;
+    kernels.scale_real(data.data(), 1.0 / static_cast<double>(n), n);
   }
+}
+
+void fft_twiddle_cache_clear() {
+  TwiddleCache& cache = twiddle_cache();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  cache.tables.clear();
+}
+
+std::uint64_t fft_twiddle_cache_builds() {
+  return twiddle_cache().builds.load(std::memory_order_relaxed);
+}
+
+std::size_t fft_twiddle_cache_entries() {
+  TwiddleCache& cache = twiddle_cache();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  return cache.tables.size();
 }
 
 std::size_t next_pow2(std::size_t n) {

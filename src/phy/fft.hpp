@@ -6,6 +6,7 @@
 // way the paper's bench instrument displayed them.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "src/phy/waveform.hpp"
@@ -15,7 +16,23 @@ namespace mmtag::phy {
 /// In-place iterative radix-2 decimation-in-time FFT. `data.size()` must
 /// be a power of two. `inverse` applies the conjugate transform and 1/N
 /// scaling, so fft(fft(x), true) == x.
+///
+/// Twiddle factors come from a process-wide size-keyed cache (built once
+/// per (size, direction) and reused by every later transform of that
+/// size); the butterfly stages run on the kern:: dispatch table.
 void fft(std::vector<Complex>& data, bool inverse = false);
+
+/// Drop every cached twiddle table (test hook; thread-safe — tables in
+/// use by a concurrent fft() stay alive until it finishes).
+void fft_twiddle_cache_clear();
+
+/// Number of twiddle tables built since process start (monotonic; not
+/// reset by fft_twiddle_cache_clear). Two same-size transforms must
+/// leave this unchanged between them — see test_kern.cpp.
+[[nodiscard]] std::uint64_t fft_twiddle_cache_builds();
+
+/// Tables currently cached (one per (size, direction) seen).
+[[nodiscard]] std::size_t fft_twiddle_cache_entries();
 
 /// Next power of two >= n (n >= 1).
 [[nodiscard]] std::size_t next_pow2(std::size_t n);

@@ -1,34 +1,47 @@
 #include "src/phy/fm0.hpp"
 
+#include <cstdint>
+#include <vector>
+
+#include "src/kern/kern.hpp"
+
 namespace mmtag::phy {
 
 BitVector fm0_encode(const BitVector& bits) {
-  BitVector chips;
-  chips.reserve(bits.size() * 2);
-  bool level = true;  // Convention: idle high before the first bit.
-  for (const bool bit : bits) {
-    level = !level;          // Mandatory inversion at the bit boundary.
-    chips.push_back(level);
-    if (!bit) level = !level;  // '0' inverts again mid-bit.
-    chips.push_back(level);
+  // Branch-free form of the level automaton: the bit boundary always
+  // inverts (c0 = !prev) and the mid-bit inverts for '0'
+  // (c1 = c0 ^ !bit), with the idle level high before the first bit.
+  BitVector chips(bits.size() * 2);
+  std::uint8_t prev = 1;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const std::uint8_t bit = bits[i] ? 1 : 0;
+    const std::uint8_t c0 = static_cast<std::uint8_t>(prev ^ 1u);
+    const std::uint8_t c1 = static_cast<std::uint8_t>(c0 ^ bit ^ 1u);
+    chips[2 * i] = c0 != 0;
+    chips[2 * i + 1] = c1 != 0;
+    prev = c1;
   }
   return chips;
 }
 
 std::optional<BitVector> fm0_decode(const BitVector& chips) {
   if (chips.size() % 2 != 0) return std::nullopt;
-  BitVector bits;
-  bits.reserve(chips.size() / 2);
-  bool level = true;  // Matches the encoder's idle-high convention.
-  for (std::size_t i = 0; i < chips.size(); i += 2) {
-    const bool first = chips[i];
-    const bool second = chips[i + 1];
-    // The first chip must be an inversion of the previous level.
-    if (first == level) return std::nullopt;
-    // Same halves -> '1'; inverted halves -> '0'.
-    bits.push_back(first == second);
-    level = second;
+  const std::size_t nbits = chips.size() / 2;
+  if (nbits == 0) return BitVector{};
+  // Unpack to bytes for the branch-free kernel: bit i is the XNOR of its
+  // chip pair, and validity is one parallel check that every first chip
+  // inverts the preceding level.
+  std::vector<std::uint8_t> chip_bytes(chips.size());
+  for (std::size_t i = 0; i < chips.size(); ++i) {
+    chip_bytes[i] = chips[i] ? 1 : 0;
   }
+  std::vector<std::uint8_t> bit_bytes(nbits);
+  if (kern::dispatch().fm0_decode_bytes(chip_bytes.data(), nbits,
+                                        bit_bytes.data()) == 0) {
+    return std::nullopt;
+  }
+  BitVector bits(nbits);
+  for (std::size_t i = 0; i < nbits; ++i) bits[i] = bit_bytes[i] != 0;
   return bits;
 }
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 
+#include "src/kern/kern.hpp"
 #include "src/phys/units.hpp"
 
 namespace mmtag::phy {
@@ -39,21 +41,41 @@ std::vector<double> OokDemodulator::symbol_statistics(
     std::span<const Complex> samples) const {
   const std::size_t symbols =
       samples.size() / static_cast<std::size_t>(samples_per_symbol_);
-  std::vector<double> stats;
-  stats.reserve(symbols);
-  for (std::size_t k = 0; k < symbols; ++k) {
-    Complex acc(0.0, 0.0);
-    for (int s = 0; s < samples_per_symbol_; ++s) {
-      acc += samples[k * static_cast<std::size_t>(samples_per_symbol_) +
-                     static_cast<std::size_t>(s)];
+  std::vector<double> stats(symbols);
+  if (symbols == 0) return stats;
+  // Integrate-and-dump on the dispatch kernels, then reduce each symbol
+  // sum to its soft statistic.
+  const kern::Kernels& kernels = kern::dispatch();
+  std::vector<Complex> sums(symbols);
+  kernels.block_sum_complex(samples.data(), symbols,
+                            static_cast<std::size_t>(samples_per_symbol_),
+                            sums.data());
+  if (detection_ == OokDetection::kCoherent) {
+    for (std::size_t k = 0; k < symbols; ++k) {
+      stats[k] = sums[k].real() / samples_per_symbol_;
     }
-    const double statistic = detection_ == OokDetection::kCoherent
-                                 ? acc.real()
-                                 : std::abs(acc);
-    stats.push_back(statistic / samples_per_symbol_);
+  } else {
+    kernels.abs_complex(sums.data(), stats.data(), symbols);
+    for (std::size_t k = 0; k < symbols; ++k) {
+      stats[k] /= samples_per_symbol_;
+    }
   }
   return stats;
 }
+
+namespace {
+
+// Branch-free hard slicer shared by the two demodulate entry points.
+BitVector slice_below(const std::vector<double>& stats, double threshold) {
+  std::vector<std::uint8_t> hard(stats.size());
+  kern::dispatch().threshold_below(stats.data(), stats.size(), threshold,
+                                   hard.data());
+  BitVector bits(stats.size());
+  for (std::size_t i = 0; i < stats.size(); ++i) bits[i] = hard[i] != 0;
+  return bits;
+}
+
+}  // namespace
 
 BitVector OokDemodulator::demodulate(std::span<const Complex> samples) const {
   const std::vector<double> stats = symbol_statistics(samples);
@@ -71,20 +93,12 @@ BitVector OokDemodulator::demodulate(std::span<const Complex> samples) const {
       std::accumulate(sorted.begin() + half, sorted.end(), 0.0) /
       std::max<std::size_t>(1, sorted.size() - half);
   const double threshold = (low_mean + high_mean) / 2.0;
-
-  BitVector bits;
-  bits.reserve(stats.size());
-  for (const double s : stats) bits.push_back(s < threshold);
-  return bits;
+  return slice_below(stats, threshold);
 }
 
 BitVector OokDemodulator::demodulate_with_threshold(
     std::span<const Complex> samples, double threshold) const {
-  const std::vector<double> stats = symbol_statistics(samples);
-  BitVector bits;
-  bits.reserve(stats.size());
-  for (const double s : stats) bits.push_back(s < threshold);
-  return bits;
+  return slice_below(symbol_statistics(samples), threshold);
 }
 
 std::size_t hamming_distance(const BitVector& a, const BitVector& b) {

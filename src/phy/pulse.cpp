@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/kern/kern.hpp"
 #include "src/phys/constants.hpp"
 
 namespace mmtag::phy {
@@ -38,21 +39,12 @@ std::vector<double> raised_cosine_taps(double beta, int samples_per_symbol,
 Waveform apply_fir(std::span<const Complex> samples,
                    std::span<const double> taps) {
   assert(!taps.empty());
-  const std::size_t delay = taps.size() / 2;
+  // y[n] = sum_k taps[k] * x[n + delay - k] ("same" alignment) with the
+  // out-of-range k skipped; the per-output dot product runs on the
+  // dispatch kernels.
   Waveform out(samples.size(), Complex(0.0, 0.0));
-  for (std::size_t n = 0; n < samples.size(); ++n) {
-    Complex acc(0.0, 0.0);
-    for (std::size_t k = 0; k < taps.size(); ++k) {
-      // y[n] = sum_k taps[k] * x[n + delay - k] ("same" alignment).
-      const std::ptrdiff_t index = static_cast<std::ptrdiff_t>(n + delay) -
-                                   static_cast<std::ptrdiff_t>(k);
-      if (index >= 0 &&
-          index < static_cast<std::ptrdiff_t>(samples.size())) {
-        acc += taps[k] * samples[static_cast<std::size_t>(index)];
-      }
-    }
-    out[n] = acc;
-  }
+  kern::dispatch().fir_complex(samples.data(), samples.size(), taps.data(),
+                               taps.size(), out.data());
   return out;
 }
 

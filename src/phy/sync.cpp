@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/kern/kern.hpp"
 #include "src/phy/frame.hpp"
 #include "src/phy/line_code.hpp"
 
@@ -38,38 +39,45 @@ FrameSynchronizer::FrameSynchronizer(SyncConfig config) : config_(config) {
   assert(template_norm_ > 0.0);
 }
 
+double FrameSynchronizer::score_window(const double* magnitudes) const {
+  // Zero-mean the envelope within the window, then take a normalized
+  // cross-correlation. Scale/offset invariant by construction.
+  const std::size_t window = template_.size();
+  const kern::Kernels& kernels = kern::dispatch();
+  const double mean =
+      kernels.sum(magnitudes, window) / static_cast<double>(window);
+  double dot = 0.0;
+  double energy = 0.0;
+  kernels.centered_dot_energy(magnitudes, template_.data(), mean, window,
+                              &dot, &energy);
+  if (energy <= 0.0) return 0.0;
+  const double score = dot / (std::sqrt(energy) * template_norm_);
+  return score > 0.0 ? score : 0.0;
+}
+
 double FrameSynchronizer::correlate_at(std::span<const Complex> stream,
                                        std::size_t offset) const {
   const std::size_t window = template_.size();
   if (offset + window > stream.size()) return 0.0;
-
-  // Work on envelope magnitudes, zero-mean within the window, then take a
-  // normalized cross-correlation. Scale/offset invariant by construction.
-  double mean = 0.0;
-  for (std::size_t i = 0; i < window; ++i) {
-    mean += std::abs(stream[offset + i]);
-  }
-  mean /= static_cast<double>(window);
-
-  double dot = 0.0;
-  double energy = 0.0;
-  for (std::size_t i = 0; i < window; ++i) {
-    const double centered = std::abs(stream[offset + i]) - mean;
-    dot += centered * template_[i];
-    energy += centered * centered;
-  }
-  if (energy <= 0.0) return 0.0;
-  const double score = dot / (std::sqrt(energy) * template_norm_);
-  return score > 0.0 ? score : 0.0;
+  std::vector<double> magnitudes(window);
+  kern::dispatch().abs_complex(stream.data() + offset, magnitudes.data(),
+                               window);
+  return score_window(magnitudes.data());
 }
 
 std::optional<SyncHit> FrameSynchronizer::find_frame_start(
     std::span<const Complex> stream) const {
   const std::size_t window = template_.size();
   if (stream.size() < window) return std::nullopt;
+  // One envelope pass over the whole stream, then slide the correlation
+  // window over the precomputed magnitudes — the O(stream * window)
+  // inner product runs on the dispatch kernels.
+  std::vector<double> magnitudes(stream.size());
+  kern::dispatch().abs_complex(stream.data(), magnitudes.data(),
+                               stream.size());
   SyncHit best;
   for (std::size_t offset = 0; offset + window <= stream.size(); ++offset) {
-    const double score = correlate_at(stream, offset);
+    const double score = score_window(magnitudes.data() + offset);
     if (score > best.correlation) {
       best.correlation = score;
       best.offset_samples = offset;
@@ -87,9 +95,12 @@ std::vector<SyncHit> FrameSynchronizer::find_all_frames(
 
   // Collect every above-threshold offset, then greedily keep the best and
   // suppress neighbours within one template length (non-max suppression).
+  std::vector<double> magnitudes(stream.size());
+  kern::dispatch().abs_complex(stream.data(), magnitudes.data(),
+                               stream.size());
   std::vector<SyncHit> candidates;
   for (std::size_t offset = 0; offset + window <= stream.size(); ++offset) {
-    const double score = correlate_at(stream, offset);
+    const double score = score_window(magnitudes.data() + offset);
     if (score >= config_.threshold) {
       candidates.push_back(SyncHit{offset, score});
     }

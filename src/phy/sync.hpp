@@ -54,6 +54,11 @@ class FrameSynchronizer {
   [[nodiscard]] const SyncConfig& config() const { return config_; }
 
  private:
+  /// Normalized correlation score of one template-length window of
+  /// envelope magnitudes (the kern-accelerated inner loop shared by all
+  /// search entry points).
+  [[nodiscard]] double score_window(const double* magnitudes) const;
+
   SyncConfig config_;
   std::vector<double> template_;  ///< Zero-mean preamble template.
   double template_norm_ = 0.0;

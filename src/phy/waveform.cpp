@@ -3,23 +3,27 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/kern/kern.hpp"
 #include "src/phys/units.hpp"
 
 namespace mmtag::phy {
 
 double mean_power(std::span<const Complex> samples) {
   if (samples.empty()) return 0.0;
-  double sum = 0.0;
-  for (const Complex& x : samples) sum += std::norm(x);
+  // sum |x|^2 as a self-dot over the interleaved re/im view.
+  const double* doubles = reinterpret_cast<const double*>(samples.data());
+  const double sum =
+      kern::dispatch().dot(doubles, doubles, 2 * samples.size());
   return sum / static_cast<double>(samples.size());
 }
 
 void scale(Waveform& samples, double gain) {
-  for (Complex& x : samples) x *= gain;
+  kern::dispatch().scale_real(samples.data(), gain, samples.size());
 }
 
 void apply_channel(Waveform& samples, Complex coefficient) {
-  for (Complex& x : samples) x *= coefficient;
+  kern::dispatch().scale_complex(samples.data(), coefficient,
+                                 samples.size());
 }
 
 void add_awgn(Waveform& samples, double noise_power, std::mt19937_64& rng) {
