@@ -2,8 +2,9 @@
 # CI entry point: tier-1 verify in Release and Debug with warnings as
 # errors (test suite run twice: forced-scalar and auto SIMD dispatch), a
 # bench-smoke stage that exercises the JSON/compare pipeline plus the
-# kernel-backend determinism gate, an ASan+UBSan pass, and a docs stage
-# (skipped with a notice when doxygen is absent).
+# kernel-backend determinism gate, an ASan+UBSan pass, chaos and traffic
+# smoke stages driving the fault and net benches under the sanitizers,
+# and a docs stage (skipped with a notice when doxygen is absent).
 # Usage: ./ci.sh [extra ctest args...]
 set -eu
 
@@ -50,7 +51,7 @@ cmake -B "${build_dir}" -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build "${build_dir}" -j --target mmtag_tests bench_d1_fleet \
-  bench_d2_chaos
+  bench_d2_chaos bench_n1_traffic
 # Both dispatch modes under the sanitizers: the SIMD loadu/storeu edge
 # handling is exactly where ASan earns its keep.
 for kern in scalar auto; do
@@ -75,6 +76,20 @@ echo "=== Chaos smoke (fault injection under ASan, obs metrics on) ==="
   --compare "${out_dir}/BENCH_d2_chaos.json" --threshold 1.0 > /dev/null
 echo "chaos smoke OK: ${out_dir}/BENCH_d2_chaos.json"
 
+echo "=== Traffic smoke (net stack under ASan, JSON self-compare) ==="
+# The traffic bench self-checks report-fingerprint determinism across
+# thread counts and the SR-beats-stop-and-wait goodput margin under a 10%
+# outage schedule (exit 1 on violation). Reduced size: the pool-backed
+# SR-ARQ path, rate adaptation and the fleet admission pass all run under
+# the sanitizers.
+"${build_dir}/bench/bench_n1_traffic" --csv --readers 2 --tags 50 \
+  --flows 100 --packets 16 --warmup 0 --repeat 1 \
+  --json "${out_dir}/BENCH_n1_traffic.json" > /dev/null
+"${build_dir}/bench/bench_n1_traffic" --csv --readers 2 --tags 50 \
+  --flows 100 --packets 16 --warmup 0 --repeat 1 \
+  --compare "${out_dir}/BENCH_n1_traffic.json" --threshold 1.0 > /dev/null
+echo "traffic smoke OK: ${out_dir}/BENCH_n1_traffic.json"
+
 echo "=== Docs (Doxygen, warnings fatal for src/kern src/obs src/fault) ==="
 # The Doxyfile sets WARN_AS_ERROR, so undocumented public members in the
 # covered directories fail this stage. Containers without doxygen skip it
@@ -86,4 +101,4 @@ else
   echo "docs SKIPPED: doxygen not installed on this host"
 fi
 
-echo "=== CI OK: Release + Debug (-Werror, scalar+auto), bench smoke, ASan+UBSan, chaos smoke, docs ==="
+echo "=== CI OK: Release + Debug (-Werror, scalar+auto), bench smoke, ASan+UBSan, chaos smoke, traffic smoke, docs ==="

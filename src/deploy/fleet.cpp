@@ -326,6 +326,7 @@ FleetResult FleetSimulator::run() {
     record_fault_metrics(report, recoveries, config_.epoch_duration_s);
   }
   result.fault = report;
+  result.service = std::move(merged);
   result.last_epoch = std::move(epoch_results);
   result.plans = plans;
   result.sweep.points = m * static_cast<std::size_t>(config_.epochs);

@@ -56,6 +56,10 @@ struct FleetResult {
   /// schedule was attached). Digest via fault::fingerprint — kept separate
   /// from the pinned FleetStats fingerprint.
   fault::FaultReport fault;
+  /// Per-tag service merged over every epoch, tag order (who was ever
+  /// read, first-read instant, delivered bits). The discovery roster the
+  /// net-layer traffic engine admits flows from.
+  std::vector<TagService> service;
   /// Per-cell results of the final epoch (cell order).
   std::vector<CellEpochResult> last_epoch;
   /// Final-epoch coordination plans (cell order).

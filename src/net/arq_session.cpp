@@ -17,6 +17,10 @@ ArqSession::ArqSession(ArqConfig config, ArqTiming timing)
   assert(config_.max_attempts_per_frame > 0);
   assert(timing_.frame_time_s >= 0.0 && timing_.query_time_s >= 0.0 &&
          timing_.query_timeout_s >= 0.0);
+  assert(timing_.late_reply_probability >= 0.0 &&
+         timing_.late_reply_probability <= 1.0);
+  assert(timing_.late_reply_fraction >= 0.0 &&
+         timing_.late_reply_fraction <= 1.0);
 }
 
 namespace {
@@ -35,6 +39,7 @@ struct TransferState {
   double start_time_s = 0.0;
 
   ArqStats stats;
+  long late_replies = 0;
   int frame = 0;
   int attempt = 0;
   int requery_budget = 0;
@@ -67,6 +72,7 @@ void step(const std::shared_ptr<TransferState>& self) {
   if (s.frame >= s.frame_count) {
     ArqSessionResult result;
     result.stats = s.stats;
+    result.late_replies = s.late_replies;
     result.elapsed_s = s.queue->now() - s.start_time_s;
     if (s.done) s.done(result);
     return;
@@ -81,6 +87,30 @@ void step(const std::shared_ptr<TransferState>& self) {
       return;
     }
     if (s.coin(*s.rng) < s.config.query_loss_probability) {
+      if (s.timing.late_reply_probability > 0.0 &&
+          s.coin(*s.rng) < s.timing.late_reply_probability) {
+        // Duplicate/late reply: the re-query the loss coin wrote off did
+        // reach the tag, and its replay lands inside the listen window.
+        // The round is exactly one (late) transmission — booking it as a
+        // query failure *and* a round would double-count the airtime, so
+        // neither query_failures nor the re-query budget is touched.
+        ++s.stats.transmissions;
+        ++s.late_replies;
+        const bool delivered = s.coin(*s.rng) < s.frame_success_probability;
+        s.queue->schedule_in(
+            s.timing.query_time_s +
+                s.timing.late_reply_fraction * s.timing.query_timeout_s +
+                s.timing.frame_time_s,
+            [self, delivered] {
+              if (delivered) {
+                finish_frame(self, /*delivered=*/true, /*exhausted=*/false);
+              } else {
+                ++self->attempt;
+                step(self);
+              }
+            });
+        return;
+      }
       // Lost re-query: the reader sent the query and held the listen
       // window open for a replay that never came. That is pure wall-clock
       // waste — the fault-injection point this session exists for.

@@ -29,12 +29,26 @@ struct ArqTiming {
   /// Listen window the reader holds open for a replay that never comes
   /// (lost re-query) before concluding the query failed.
   double query_timeout_s = 5e-6;
+  /// Probability that a re-query the loss coin wrote off actually reached
+  /// the tag, whose replay lands *inside* the listen window (a duplicate/
+  /// late reply). Such a round is one late transmission — it must not be
+  /// booked as both a query failure and a successful round, which would
+  /// double-count the airtime. 0 disables the model and its RNG draw, so
+  /// the session stays draw-for-draw identical to run_stop_and_wait.
+  double late_reply_probability = 0.0;
+  /// Fraction of query_timeout_s that elapses before a late replay starts.
+  double late_reply_fraction = 0.5;
 };
 
 struct ArqSessionResult {
   ArqStats stats;
-  /// Wall-clock consumed: transmissions * (query + frame) +
-  /// query_failures * (query + timeout). Exact by construction.
+  /// Rounds whose replay arrived late inside the listen window (subset of
+  /// stats.transmissions; never counted in stats.query_failures).
+  long late_replies = 0;
+  /// Wall-clock consumed. Exact by construction:
+  ///   (transmissions - late_replies) * (query + frame)
+  ///   + query_failures * (query + timeout)
+  ///   + late_replies * (query + late_reply_fraction * timeout + frame).
   double elapsed_s = 0.0;
 
   /// Delivered payload per unit wall time.

@@ -5,6 +5,11 @@
 
 namespace mmtag::net {
 
+std::size_t max_payload_bits(std::size_t mtu_bits) {
+  assert(mtu_bits > kFragmentHeaderBits);
+  return kMaxFragments * (mtu_bits - kFragmentHeaderBits);
+}
+
 std::vector<phy::TagFrame> fragment_payload(std::uint32_t tag_id,
                                             const phy::BitVector& payload,
                                             std::size_t mtu_bits) {
@@ -12,7 +17,10 @@ std::vector<phy::TagFrame> fragment_payload(std::uint32_t tag_id,
   const std::size_t chunk_bits = mtu_bits - kFragmentHeaderBits;
   std::size_t total = (payload.size() + chunk_bits - 1) / chunk_bits;
   if (total == 0) total = 1;  // Header-only frame for an empty payload.
-  assert(total <= kMaxFragments);
+  // The 12-bit seq/total counters top out at kMaxFragments; emitting more
+  // would silently wrap the header and reassemble garbage. Reject instead
+  // — callers split oversized payloads at max_payload_bits boundaries.
+  if (total > kMaxFragments) return {};
 
   std::vector<phy::TagFrame> frames;
   frames.reserve(total);
@@ -37,6 +45,10 @@ bool Reassembler::accept(const phy::TagFrame& frame) {
   const std::uint32_t seq = phy::read_uint(frame.payload, offset, 12);
   const std::uint32_t total = phy::read_uint(frame.payload, offset, 12);
   if (total == 0 || seq >= total) return false;
+  // A frame arriving after the payload completed belongs to a later (or
+  // replayed) transfer; accepting it would silently corrupt the finished
+  // payload's bookkeeping. The caller should reset or use a new instance.
+  if (complete()) return false;
 
   if (!initialized_) {
     initialized_ = true;

@@ -23,10 +23,17 @@ inline constexpr std::size_t kFragmentHeaderBits = 24;
 /// Maximum fragments per payload (12-bit counter).
 inline constexpr std::size_t kMaxFragments = 4095;
 
+/// Largest payload (in bits) that fits `kMaxFragments` fragments at the
+/// given MTU; fragment_payload rejects anything larger.
+[[nodiscard]] std::size_t max_payload_bits(std::size_t mtu_bits);
+
 /// Split `payload` into frames whose *frame payloads* are at most
 /// `mtu_bits` (header included; `mtu_bits` must exceed the header).
 /// An empty payload still produces one header-only frame so the receiver
-/// learns it is complete.
+/// learns it is complete. A payload needing more than `kMaxFragments`
+/// fragments is rejected (empty vector) — the 12-bit seq/total counters
+/// cannot represent it, and wrapping them would corrupt the header;
+/// callers split such payloads at max_payload_bits(mtu_bits) boundaries.
 [[nodiscard]] std::vector<phy::TagFrame> fragment_payload(
     std::uint32_t tag_id, const phy::BitVector& payload,
     std::size_t mtu_bits);
@@ -35,8 +42,12 @@ inline constexpr std::size_t kMaxFragments = 4095;
 /// fragments may arrive in any order.
 class Reassembler {
  public:
-  /// Accept one frame. Returns false when the frame is not a valid
-  /// fragment (header truncated, inconsistent total, wrong tag).
+  /// Accept one frame. Returns false — without mutating any state — when
+  /// the frame is not a valid fragment (header truncated, zero total,
+  /// seq >= total), disagrees with the initialized transfer (inconsistent
+  /// total, wrong tag), or arrives after the payload is already
+  /// complete(). A duplicate of a pending transfer's fragment returns
+  /// true and is ignored.
   bool accept(const phy::TagFrame& frame);
 
   /// True once every fragment has arrived.

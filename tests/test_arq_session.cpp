@@ -172,6 +172,81 @@ TEST(ArqSession, LostRequeriesConsumeWallClock) {
   EXPECT_DOUBLE_EQ(result.goodput_bps(96), 0.0);
 }
 
+TEST(ArqSession, LateReplyRoundsAreBookedExactlyOnce) {
+  // With late replies enabled, a round whose re-query the loss coin wrote
+  // off can still produce a replay inside the listen window. That round
+  // must appear as ONE late transmission — never as a query failure too —
+  // and the elapsed decomposition must stay exact under the interleaving.
+  ArqConfig config;
+  config.query_loss_probability = 0.5;
+  ArqTiming timing;
+  timing.frame_time_s = 8e-6;
+  timing.query_time_s = 1e-6;
+  timing.query_timeout_s = 4e-6;
+  timing.late_reply_probability = 0.6;
+  timing.late_reply_fraction = 0.25;
+  auto rng = sim::make_rng(154);
+  ArqSession session(config, timing);
+  const ArqSessionResult result = session.run(1000, 0.5, rng);
+  EXPECT_GT(result.late_replies, 0);
+  EXPECT_GT(result.stats.query_failures, 0);
+  EXPECT_LE(result.late_replies, result.stats.transmissions);
+  const double predicted =
+      static_cast<double>(result.stats.transmissions - result.late_replies) *
+          (timing.query_time_s + timing.frame_time_s) +
+      static_cast<double>(result.stats.query_failures) *
+          (timing.query_time_s + timing.query_timeout_s) +
+      static_cast<double>(result.late_replies) *
+          (timing.query_time_s +
+           timing.late_reply_fraction * timing.query_timeout_s +
+           timing.frame_time_s);
+  EXPECT_NEAR(result.elapsed_s, predicted, predicted * 1e-9);
+}
+
+TEST(ArqSession, CertainLateRepliesNeverCountAsQueryFailures) {
+  // Every re-query "lost", every one of them actually a late replay: the
+  // session must book zero query failures and burn zero re-query budget.
+  // A dead channel (p = 0) forces every frame through all retry rounds.
+  ArqConfig config;
+  config.query_loss_probability = 1.0;
+  ArqTiming timing;
+  timing.late_reply_probability = 1.0;
+  auto rng = sim::make_rng(155);
+  ArqSession session(config, timing);
+  const ArqSessionResult result = session.run(10, 0.0, rng);
+  EXPECT_EQ(result.stats.query_failures, 0);
+  EXPECT_EQ(result.stats.requery_exhausted, 0);
+  EXPECT_EQ(result.stats.frames_failed, 10);
+  // Attempt budget: 1 on-time first attempt + 15 late rounds per frame.
+  EXPECT_EQ(result.stats.transmissions,
+            10L * config.max_attempts_per_frame);
+  EXPECT_EQ(result.late_replies,
+            10L * (config.max_attempts_per_frame - 1));
+  const double per_frame =
+      (timing.query_time_s + timing.frame_time_s) +
+      static_cast<double>(config.max_attempts_per_frame - 1) *
+          (timing.query_time_s +
+           timing.late_reply_fraction * timing.query_timeout_s +
+           timing.frame_time_s);
+  EXPECT_NEAR(result.elapsed_s, 10.0 * per_frame, 1e-12);
+}
+
+TEST(ArqSession, DisabledLateRepliesKeepDrawParity) {
+  // late_reply_probability = 0 must not consume a single extra RNG draw:
+  // the timed session stays draw-for-draw identical to run_stop_and_wait.
+  ArqConfig config;
+  config.query_loss_probability = 0.4;
+  auto rng_a = sim::make_rng(156);
+  auto rng_b = sim::make_rng(156);
+  const ArqStats reference = run_stop_and_wait(1500, 0.5, config, rng_a);
+  ArqSession session(config, ArqTiming{});
+  const ArqSessionResult timed = session.run(1500, 0.5, rng_b);
+  EXPECT_EQ(timed.stats.transmissions, reference.transmissions);
+  EXPECT_EQ(timed.stats.query_failures, reference.query_failures);
+  EXPECT_EQ(timed.stats.frames_delivered, reference.frames_delivered);
+  EXPECT_EQ(timed.late_replies, 0);
+}
+
 TEST(ArqSession, InterleavesOnASharedEventQueue) {
   mac::EventQueue queue;
   auto rng_a = sim::make_rng(152);

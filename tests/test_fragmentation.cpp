@@ -67,11 +67,83 @@ TEST(Reassembly, OutOfOrderAndDuplicates) {
   Reassembler reassembler;
   for (const auto& frame : frames) {
     EXPECT_TRUE(reassembler.accept(frame));
-    EXPECT_TRUE(reassembler.accept(frame));  // Duplicate delivery.
+    // Duplicate delivery of a pending fragment is tolerated — except when
+    // the transfer just completed, where any further frame is rejected.
+    EXPECT_EQ(reassembler.accept(frame), !reassembler.complete());
   }
   ASSERT_TRUE(reassembler.complete());
   EXPECT_EQ(*reassembler.payload(), payload);
   EXPECT_EQ(reassembler.fragments_received(), frames.size());
+}
+
+TEST(Reassembly, RejectsAfterCompleteWithoutMutation) {
+  auto rng = sim::make_rng(137);
+  const phy::BitVector payload = random_payload(300, rng);
+  const auto frames = fragment_payload(3, payload, 128);
+  Reassembler reassembler;
+  for (const auto& frame : frames) {
+    ASSERT_TRUE(reassembler.accept(frame));
+  }
+  ASSERT_TRUE(reassembler.complete());
+  // A duplicate (or any other frame) after completion must be refused and
+  // must leave the finished payload and the counters untouched.
+  EXPECT_FALSE(reassembler.accept(frames[0]));
+  const auto next = fragment_payload(3, random_payload(50, rng), 128);
+  EXPECT_FALSE(reassembler.accept(next[0]));
+  EXPECT_TRUE(reassembler.complete());
+  EXPECT_EQ(reassembler.fragments_received(), frames.size());
+  EXPECT_EQ(*reassembler.payload(), payload);
+}
+
+TEST(Reassembly, InconsistentFramesDoNotMutateState) {
+  auto rng = sim::make_rng(138);
+  const phy::BitVector payload = random_payload(500, rng);
+  const auto frames = fragment_payload(1, payload, 128);
+  ASSERT_GE(frames.size(), 3u);
+  Reassembler reassembler;
+  ASSERT_TRUE(reassembler.accept(frames[0]));
+  const std::size_t received = reassembler.fragments_received();
+  const std::size_t expected = reassembler.fragments_expected();
+  // Wrong tag and inconsistent total are refused without side effects.
+  const auto other_tag = fragment_payload(2, random_payload(500, rng), 128);
+  const auto other_total = fragment_payload(1, random_payload(999, rng), 128);
+  EXPECT_FALSE(reassembler.accept(other_tag[1]));
+  EXPECT_FALSE(reassembler.accept(other_total[1]));
+  EXPECT_EQ(reassembler.fragments_received(), received);
+  EXPECT_EQ(reassembler.fragments_expected(), expected);
+  // The transfer still finishes normally afterwards.
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    EXPECT_TRUE(reassembler.accept(frames[i]));
+  }
+  ASSERT_TRUE(reassembler.complete());
+  EXPECT_EQ(*reassembler.payload(), payload);
+}
+
+TEST(Fragmentation, MaxFragmentBoundaryIsExact) {
+  // MTU 25 -> 1 chunk bit per fragment, so payload bits == fragment count.
+  // 4095 fragments is the last representable transfer; 4096 would wrap the
+  // 12-bit seq/total header and must be rejected outright.
+  const std::size_t mtu = kFragmentHeaderBits + 1;
+  EXPECT_EQ(max_payload_bits(mtu), kMaxFragments);
+  auto rng = sim::make_rng(139);
+  const phy::BitVector at_limit = random_payload(kMaxFragments, rng);
+  const auto frames = fragment_payload(5, at_limit, mtu);
+  ASSERT_EQ(frames.size(), kMaxFragments);
+  // The header survives intact at the boundary: last seq is 4094/4095.
+  std::size_t offset = 0;
+  EXPECT_EQ(phy::read_uint(frames.back().payload, offset, 12),
+            kMaxFragments - 1);
+  EXPECT_EQ(phy::read_uint(frames.back().payload, offset, 12),
+            kMaxFragments);
+  Reassembler reassembler;
+  for (const auto& frame : frames) {
+    ASSERT_TRUE(reassembler.accept(frame));
+  }
+  ASSERT_TRUE(reassembler.complete());
+  EXPECT_EQ(*reassembler.payload(), at_limit);
+
+  const phy::BitVector over_limit = random_payload(kMaxFragments + 1, rng);
+  EXPECT_TRUE(fragment_payload(5, over_limit, mtu).empty());
 }
 
 TEST(Reassembly, RejectsGarbage) {

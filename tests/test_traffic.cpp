@@ -1,0 +1,213 @@
+// Rate adaptation + traffic engine: ACK-history tier control, chaos
+// recovery, and bit-identical aggregates at any thread count.
+#include "src/net/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/rate_control.hpp"
+#include "src/phy/rate_table.hpp"
+
+namespace mmtag::net {
+namespace {
+
+TEST(AckRateController, StartsAtTheBestFeasibleTier) {
+  const phy::RateTable table = phy::RateTable::mmtag_standard();
+  // Strong link: open-loop pick is the fastest tier.
+  const AckRateController strong(&table, {},
+                                 table.required_power_dbm(table.tiers()[0]));
+  EXPECT_EQ(strong.tier_index(), 0u);
+  // A link below even the slowest threshold still gets the slowest tier —
+  // the ACK loop, not the constructor, decides whether it works.
+  const AckRateController weak(&table, {}, -200.0);
+  EXPECT_EQ(weak.tier_index(), table.tiers().size() - 1);
+  EXPECT_EQ(weak.rate_bps(),
+            table.tiers().back().bit_rate_bps);
+}
+
+TEST(AckRateController, DownshiftsOnDeliveryCollapseRegardlessOfSnr) {
+  const phy::RateTable table = phy::RateTable::mmtag_standard();
+  // SNR says the fastest tier is fine; the ACKs will say otherwise
+  // (blockage does not show up in a link budget).
+  AckRateController controller(&table, {}, 0.0);
+  ASSERT_EQ(controller.tier_index(), 0u);
+  int rounds = 0;
+  while (controller.tier_index() == 0 && rounds < 100) {
+    controller.on_ack_round(0, 8);
+    ++rounds;
+  }
+  EXPECT_EQ(controller.tier_index(), 1u);
+  EXPECT_GE(rounds, 2);  // EWMA smoothing: one bad round is not enough.
+  EXPECT_EQ(controller.switch_count(), 1);
+  // Keep failing: it walks down to the slowest tier and stays there.
+  for (int i = 0; i < 100; ++i) controller.on_ack_round(0, 8);
+  EXPECT_EQ(controller.tier_index(), table.tiers().size() - 1);
+}
+
+TEST(AckRateController, UpshiftNeedsDwellAndLinkMargin) {
+  const phy::RateTable table = phy::RateTable::mmtag_standard();
+  AckRateController::Params params;
+  params.up_dwell_rounds = 3;
+  // Start on the slowest tier (weak link).
+  AckRateController controller(&table, params, -200.0);
+  const std::size_t slowest = table.tiers().size() - 1;
+  ASSERT_EQ(controller.tier_index(), slowest);
+
+  // Perfect rounds but no link margin: never upshifts.
+  for (int i = 0; i < 20; ++i) controller.on_ack_round(8, 8);
+  EXPECT_EQ(controller.tier_index(), slowest);
+
+  // Link recovers with margin to spare: upshift arms, then fires only
+  // after the configured dwell of clean rounds.
+  const phy::RateTier& faster = table.tiers()[slowest - 1];
+  controller.observe_power_dbm(table.required_power_dbm(faster) +
+                               params.snr_margin_db + 1.0);
+  EXPECT_FALSE(controller.on_ack_round(8, 8));
+  EXPECT_FALSE(controller.on_ack_round(8, 8));
+  EXPECT_TRUE(controller.on_ack_round(8, 8));
+  EXPECT_EQ(controller.tier_index(), slowest - 1);
+}
+
+TEST(AckRateController, PacketSuccessProbabilityTracksPowerAndLength) {
+  const phy::RateTable table = phy::RateTable::mmtag_standard();
+  const phy::RateTier& tier = table.tiers()[0];
+  const double threshold = table.required_power_dbm(tier);
+  const double strong = packet_success_probability(table, tier,
+                                                   threshold + 10.0, 640);
+  const double weak = packet_success_probability(table, tier,
+                                                 threshold - 10.0, 640);
+  EXPECT_GT(strong, weak);
+  EXPECT_GT(strong, 0.99);
+  const double longer = packet_success_probability(table, tier,
+                                                   threshold + 10.0, 6400);
+  EXPECT_LT(longer, strong);  // More chips, more ways to die.
+}
+
+/// Small but non-trivial fleet the traffic tests share.
+TrafficConfig small_config() {
+  TrafficConfig config;
+  config.layout.width_m = 8.0;
+  config.layout.height_m = 6.0;
+  config.layout.readers = 2;
+  config.layout.tags = 12;
+  config.layout.seed = 5;
+  config.flows = 24;
+  config.packets_per_flow = 8;
+  config.arq.window = 16;
+  config.arq.max_attempts_per_packet = 64;
+  config.arq.ack_loss_probability = 0.01;
+  config.pool_packets = 16;
+  config.seed = 33;
+  config.threads = 1;
+  return config;
+}
+
+TEST(TrafficEngine, AccountingIsConsistent) {
+  TrafficConfig config = small_config();
+  TrafficEngine engine(config);
+  const TrafficReport report = engine.run();
+
+  EXPECT_EQ(report.flows_offered, config.flows);
+  EXPECT_EQ(report.flows_admitted, config.flows);
+  EXPECT_GT(report.discovery_coverage, 0.0);
+  ASSERT_EQ(report.per_flow.size(),
+            static_cast<std::size_t>(config.flows));
+  EXPECT_EQ(report.packets_offered,
+            static_cast<long>(config.flows) * config.packets_per_flow);
+  EXPECT_EQ(report.packets_delivered + report.packets_dropped,
+            report.packets_offered);
+  EXPECT_GT(report.flows_served, 0);
+  EXPECT_GT(report.goodput_total_bps, 0.0);
+  EXPECT_GT(report.jain, 0.0);
+  EXPECT_LE(report.jain, 1.0);
+  EXPECT_GT(report.latency_p99_s, 0.0);
+  EXPECT_GE(report.latency_p99_s, report.latency_p50_s);
+  EXPECT_GE(report.transmissions, report.packets_delivered);
+  // Every flow rode a real link on a real reader.
+  for (const FlowResult& flow : report.per_flow) {
+    EXPECT_GE(flow.reader, 0);
+    EXPECT_LT(flow.reader, config.layout.readers);
+    EXPECT_GT(flow.received_power_dbm, -300.0);
+    EXPECT_GT(flow.initial_rate_bps, 0.0);
+  }
+  EXPECT_NE(fingerprint(report), 0u);
+  EXPECT_EQ(traffic_report_table(report).rows(), 1u);
+}
+
+TEST(TrafficEngine, AggregatesAreBitIdenticalAcrossThreadCounts) {
+  // {1, 4, hardware} worker threads must produce byte-for-byte the same
+  // report — the repo's core determinism discipline, now at the net layer.
+  std::vector<std::uint64_t> digests;
+  for (const int threads : {1, 4, 0}) {
+    TrafficConfig config = small_config();
+    config.faults = fault::FaultSchedule::chaos(0.5);
+    config.threads = threads;
+    const TrafficReport report = TrafficEngine(config).run();
+    digests.push_back(fingerprint(report));
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[0], digests[2]);
+}
+
+TEST(TrafficEngine, RecoversAllInFlightPacketsAcrossChaos) {
+  // chaos(0.5) outage/blockage schedule, plus a scripted outage pinned
+  // over the start of the run so every flow on reader 0 is guaranteed to
+  // live through a blackout. With the retry budget uncapped-ish, SR must
+  // re-deliver every in-flight packet once the chaos clears.
+  TrafficConfig config = small_config();
+  config.faults = fault::FaultSchedule::chaos(0.5);
+  config.faults.outages.scripted.push_back({0, 0.0, 0.001});
+  config.arq.max_attempts_per_packet = 1 << 20;
+  config.discovery_epochs = 0;  // Admission decoupled from discovery luck.
+  TrafficEngine engine(config);
+  const TrafficReport report = engine.run();
+
+  EXPECT_EQ(report.packets_dropped, 0);
+  EXPECT_EQ(report.packets_delivered, report.packets_offered);
+  EXPECT_EQ(report.flows_served, report.flows_admitted);
+  // The blackout actually cost something: retransmissions happened.
+  EXPECT_GT(report.transmissions, report.packets_delivered);
+  // And the slowest flow's wall time spans the scripted outage.
+  EXPECT_GE(report.elapsed_max_s, 0.001);
+}
+
+TEST(TrafficEngine, SelectiveRepeatBeatsStopAndWait) {
+  TrafficConfig config = small_config();
+  config.faults.outages.scripted.push_back({0, 0.0, 0.0005});
+  config.faults.outages.scripted.push_back({1, 0.0002, 0.0005});
+  config.arq.max_attempts_per_packet = 1 << 20;
+  config.packets_per_flow = 32;
+
+  TrafficConfig sr_config = config;
+  sr_config.mode = ArqMode::kSelectiveRepeat;
+  TrafficConfig sw_config = config;
+  sw_config.mode = ArqMode::kStopAndWait;
+  const TrafficReport sr = TrafficEngine(sr_config).run();
+  const TrafficReport sw = TrafficEngine(sw_config).run();
+
+  EXPECT_EQ(sr.packets_delivered, sr.packets_offered);
+  EXPECT_EQ(sw.packets_delivered, sw.packets_offered);
+  // Same offered load, same outages: the window pays for itself.
+  EXPECT_GT(sr.goodput_total_bps, sw.goodput_total_bps);
+}
+
+TEST(TrafficEngine, SeedMovesTheReport) {
+  TrafficConfig config = small_config();
+  const TrafficReport a = TrafficEngine(config).run();
+  config.seed = 34;
+  const TrafficReport b = TrafficEngine(config).run();
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+}
+
+TEST(TrafficEngine, ZeroFlowsYieldEmptyReport) {
+  TrafficConfig config = small_config();
+  config.flows = 0;
+  const TrafficReport report = TrafficEngine(config).run();
+  EXPECT_EQ(report.flows_admitted, 0);
+  EXPECT_EQ(report.packets_offered, 0);
+  EXPECT_TRUE(report.per_flow.empty());
+}
+
+}  // namespace
+}  // namespace mmtag::net
