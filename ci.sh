@@ -2,9 +2,10 @@
 # CI entry point: tier-1 verify in Release and Debug with warnings as
 # errors (test suite run twice: forced-scalar and auto SIMD dispatch), a
 # bench-smoke stage that exercises the JSON/compare pipeline plus the
-# kernel-backend determinism gate, an ASan+UBSan pass, chaos and traffic
-# smoke stages driving the fault and net benches under the sanitizers,
-# and a docs stage (skipped with a notice when doxygen is absent).
+# kernel-backend determinism gate, an ASan+UBSan pass, chaos, traffic and
+# mesh smoke stages driving the fault, net and backhaul benches under the
+# sanitizers, and a docs stage (skipped with a notice when doxygen is
+# absent).
 # Usage: ./ci.sh [extra ctest args...]
 set -eu
 
@@ -51,7 +52,7 @@ cmake -B "${build_dir}" -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build "${build_dir}" -j --target mmtag_tests bench_d1_fleet \
-  bench_d2_chaos bench_n1_traffic
+  bench_d2_chaos bench_n1_traffic bench_m1_mesh
 # Both dispatch modes under the sanitizers: the SIMD loadu/storeu edge
 # handling is exactly where ASan earns its keep.
 for kern in scalar auto; do
@@ -90,6 +91,20 @@ echo "=== Traffic smoke (net stack under ASan, JSON self-compare) ==="
   --compare "${out_dir}/BENCH_n1_traffic.json" --threshold 1.0 > /dev/null
 echo "traffic smoke OK: ${out_dir}/BENCH_n1_traffic.json"
 
+echo "=== Mesh smoke (reader backhaul under ASan, JSON self-compare) ==="
+# The mesh bench self-checks backhaul-fingerprint determinism across
+# thread counts and the failover-beats-frozen-tables delivery margin under
+# a 10% reader-outage schedule (exit 1 on violation). Reduced size: the
+# link-state flood, Yen alternates, the zero-copy forwarding plane and the
+# mesh-aware orphan re-handoff all run under the sanitizers.
+"${build_dir}/bench/bench_m1_mesh" --csv --readers 16 --tags 200 \
+  --epochs 3 --warmup 0 --repeat 1 \
+  --json "${out_dir}/BENCH_m1_mesh.json" > /dev/null
+"${build_dir}/bench/bench_m1_mesh" --csv --readers 16 --tags 200 \
+  --epochs 3 --warmup 0 --repeat 1 \
+  --compare "${out_dir}/BENCH_m1_mesh.json" --threshold 1.0 > /dev/null
+echo "mesh smoke OK: ${out_dir}/BENCH_m1_mesh.json"
+
 echo "=== Docs (Doxygen, warnings fatal for src/kern src/obs src/fault) ==="
 # The Doxyfile sets WARN_AS_ERROR, so undocumented public members in the
 # covered directories fail this stage. Containers without doxygen skip it
@@ -101,4 +116,4 @@ else
   echo "docs SKIPPED: doxygen not installed on this host"
 fi
 
-echo "=== CI OK: Release + Debug (-Werror, scalar+auto), bench smoke, ASan+UBSan, chaos smoke, traffic smoke, docs ==="
+echo "=== CI OK: Release + Debug (-Werror, scalar+auto), bench smoke, ASan+UBSan, chaos smoke, traffic smoke, mesh smoke, docs ==="

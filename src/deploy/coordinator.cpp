@@ -99,19 +99,34 @@ int FleetCoordinator::reassign_orphans(
     const std::vector<core::MmTag>& tags,
     const std::vector<reader::MmWaveReader>& readers,
     const std::vector<std::uint8_t>& live, std::vector<int>& tag_cell) {
+  return reassign_orphans(tags, readers, live, {}, tag_cell);
+}
+
+int FleetCoordinator::reassign_orphans(
+    const std::vector<core::MmTag>& tags,
+    const std::vector<reader::MmWaveReader>& readers,
+    const std::vector<std::uint8_t>& live,
+    const std::vector<std::uint8_t>& reachable,
+    std::vector<int>& tag_cell) {
   assert(!readers.empty());
   assert(live.size() == readers.size());
+  assert(reachable.empty() || reachable.size() == readers.size());
   assert(tag_cell.size() == tags.size());
-  bool any_live = false;
-  for (const std::uint8_t up : live) any_live = any_live || up != 0;
-  if (!any_live) return 0;  // Total blackout: nowhere to evacuate to.
+  const auto serviceable = [&](std::size_t r) {
+    return live[r] != 0 && (reachable.empty() || reachable[r] != 0);
+  };
+  bool any = false;
+  for (std::size_t r = 0; r < readers.size(); ++r) {
+    any = any || serviceable(r);
+  }
+  if (!any) return 0;  // Total blackout/partition: nowhere to evacuate to.
   int handoffs = 0;
   for (std::size_t t = 0; t < tags.size(); ++t) {
     const channel::Vec2 pos = tags[t].pose().position;
     int best = -1;
     double best_d = 0.0;
     for (std::size_t r = 0; r < readers.size(); ++r) {
-      if (live[r] == 0) continue;
+      if (!serviceable(r)) continue;
       const double d = channel::distance(readers[r].pose().position, pos);
       if (best < 0 || d < best_d) {
         best_d = d;

@@ -86,6 +86,21 @@ class FleetCoordinator {
       const std::vector<reader::MmWaveReader>& readers,
       const std::vector<std::uint8_t>& live, std::vector<int>& tag_cell);
 
+  /// Mesh-aware variant: a reader only receives tags when it is BOTH
+  /// radio-live and backhaul-reachable (`reachable[r]`, from
+  /// mesh::MeshTopology::gateway_reachable) — a live reader partitioned
+  /// from every gateway can read tags but can never drain their inventory,
+  /// so handing it orphans silently loses traffic. An empty `reachable`
+  /// means no mesh is deployed and every live reader qualifies (exactly
+  /// the overload above). With no reader serviceable, membership is left
+  /// untouched. Returns the number of handoffs performed.
+  [[nodiscard]] static int reassign_orphans(
+      const std::vector<core::MmTag>& tags,
+      const std::vector<reader::MmWaveReader>& readers,
+      const std::vector<std::uint8_t>& live,
+      const std::vector<std::uint8_t>& reachable,
+      std::vector<int>& tag_cell);
+
   /// Expand membership into per-cell index lists (cell order, then tag
   /// order — deterministic).
   [[nodiscard]] static std::vector<std::vector<std::size_t>> rosters(

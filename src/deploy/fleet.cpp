@@ -146,6 +146,9 @@ FleetResult FleetSimulator::run() {
   long orphaned_tag_epochs = 0;
   std::vector<CellFaultContext> fault_ctx(engine ? m : 0);
   std::vector<std::uint8_t> live(m, 1);
+  // live + backhaul-reachable: the readers that can actually drain
+  // inventory this epoch. Identical to `live` without a mesh hook.
+  std::vector<std::uint8_t> serviceable(m, 1);
 
   std::vector<TagService> merged(n);
   std::vector<CellEpochResult> epoch_results(m);
@@ -179,9 +182,18 @@ FleetResult FleetSimulator::run() {
         fault_ctx[r].tag_blocked = &ef.tag_blocked;
         fault_ctx[r].block_probability = ef.block_probability;
       }
+      std::vector<std::uint8_t> reachable;
+      if (config_.backhaul_reachable) {
+        reachable = config_.backhaul_reachable(e, live);
+      }
+      for (std::size_t r = 0; r < m; ++r) {
+        serviceable[r] =
+            (live[r] != 0 && (reachable.empty() || reachable[r] != 0)) ? 1
+                                                                       : 0;
+      }
       if (config_.recovery.reassign_orphans) {
         report.orphan_handoffs += FleetCoordinator::reassign_orphans(
-            layout.tags, readers, live, tag_cell);
+            layout.tags, readers, live, reachable, tag_cell);
       }
       for (std::size_t t = 0; t < n; ++t) {
         report.tag_brownout_epochs += ef.tag_brownout[t];
@@ -191,10 +203,11 @@ FleetResult FleetSimulator::run() {
     const std::vector<std::vector<std::size_t>> rosters =
         FleetCoordinator::rosters(tag_cell, m);
     if (engine) {
-      // Tags that spend this epoch bound to a dead reader are orphaned —
-      // with re-handoff enabled this only happens in a total blackout.
+      // Tags that spend this epoch bound to a dead (or mesh-partitioned —
+      // readable but undrainable) reader are orphaned; with re-handoff
+      // enabled this only happens in a total blackout or total partition.
       for (std::size_t r = 0; r < m; ++r) {
-        if (live[r] == 0) {
+        if (serviceable[r] == 0) {
           orphaned_tag_epochs += static_cast<long>(rosters[r].size());
         }
       }
@@ -238,6 +251,12 @@ FleetResult FleetSimulator::run() {
       reads_total += static_cast<std::uint64_t>(cell.tags_discovered);
       report.polls_timed_out += cell.polls_timed_out;
       report.quarantines += cell.quarantines;
+    }
+
+    // Backhaul drain point: the mesh layer forwards this epoch's inventory
+    // here, after the deterministic merge, on the coordinating thread.
+    if (config_.epoch_observer) {
+      config_.epoch_observer(e, epoch_results, live);
     }
 
     if (e + 1 < config_.epochs && config_.mobile_fraction > 0.0) {

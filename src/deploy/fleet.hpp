@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/deploy/cell.hpp"
@@ -48,6 +49,22 @@ struct FleetConfig {
   /// How the fleet fights back when `faults` is active (orphan re-handoff,
   /// restart cache invalidation; poll retry knobs live in cell.recovery).
   fault::RecoveryConfig recovery;
+  /// Backhaul reachability hook (installed by mesh::BackhaulSimulator):
+  /// maps this epoch's radio-live mask to the readers that can still reach
+  /// a mesh gateway. Orphan re-handoff then avoids live-but-partitioned
+  /// readers, and tags stuck on one count as orphaned (their inventory
+  /// cannot leave the cell). Null = every live reader is serviceable.
+  std::function<std::vector<std::uint8_t>(
+      int epoch, const std::vector<std::uint8_t>& live)>
+      backhaul_reachable;
+  /// Called on the coordinating thread after each epoch's deterministic
+  /// merge with the epoch index, per-cell results (cell order) and the
+  /// radio-live mask — the point where mesh::BackhaulSimulator drains the
+  /// epoch's inventory through the forwarding plane. Serial by
+  /// construction, so thread count cannot reach the observer.
+  std::function<void(int epoch, const std::vector<CellEpochResult>& cells,
+                     const std::vector<std::uint8_t>& live)>
+      epoch_observer;
 };
 
 struct FleetResult {

@@ -85,6 +85,13 @@
 #include "src/net/fragmentation.hpp"
 #include "src/net/session.hpp"
 
+// Reader-backhaul mesh.
+#include "src/mesh/backhaul.hpp"
+#include "src/mesh/forwarding.hpp"
+#include "src/mesh/link_state.hpp"
+#include "src/mesh/routing.hpp"
+#include "src/mesh/topology.hpp"
+
 // Simulation toolkit.
 #include "src/sim/ascii_plot.hpp"
 #include "src/sim/link_sim.hpp"

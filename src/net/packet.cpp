@@ -3,7 +3,19 @@
 #include <cassert>
 #include <utility>
 
+#include "src/obs/metrics.hpp"
+
 namespace mmtag::net {
+
+namespace {
+
+obs::Counter& pool_exhausted_metric() {
+  static obs::Counter& counter =
+      obs::Registry::instance().counter("net.pool.exhausted");
+  return counter;
+}
+
+}  // namespace
 
 Packet::Packet(Packet&& other) noexcept
     : pool_(std::exchange(other.pool_, nullptr)),
@@ -80,7 +92,11 @@ PacketPool::PacketPool(std::size_t packets, std::size_t payload_capacity,
 
 Packet PacketPool::alloc() {
   if (free_.empty()) {
+    // Exhaustion is backpressure for a window-limited sender but a *drop*
+    // for a forwarding fan-in; either way it must be observable, so every
+    // refusal is counted both here and in the process-wide registry.
     ++stats_.exhaustions;
+    pool_exhausted_metric().add(1);
     return Packet{};
   }
   const std::uint32_t slot = free_.back();

@@ -94,7 +94,10 @@ class Packet {
 
 struct PacketPoolStats {
   std::uint64_t allocs = 0;        ///< Successful alloc() calls.
-  std::uint64_t exhaustions = 0;   ///< alloc() calls refused (pool dry).
+  /// alloc() calls refused (pool dry). Also mirrored to the
+  /// `net.pool.exhausted` obs counter so fan-in drops (mesh forwarding)
+  /// show up in bench JSON without plumbing pool pointers around.
+  std::uint64_t exhaustions = 0;
   std::size_t peak_in_use = 0;     ///< High-water mark of live packets.
 };
 

@@ -8,6 +8,9 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/gate.hpp"
+#include "src/obs/metrics.hpp"
+
 namespace mmtag::net {
 namespace {
 
@@ -121,6 +124,26 @@ TEST(Packet, MoveTransfersOwnershipExactlyOnce) {
   EXPECT_EQ(pool.available(), 2u);
   c.release();  // Idempotent.
   EXPECT_EQ(pool.available(), 2u);
+}
+
+TEST(PacketPool, ExhaustionIsMirroredToTheObsCounter) {
+  // Every refused alloc must be visible process-wide, not only on the
+  // pool's local stats (mesh fan-in drops are diagnosed from bench JSON).
+  auto& counter = obs::Registry::instance().counter("net.pool.exhausted");
+  const std::uint64_t before = counter.value();
+  PacketPool pool(1, 16, 0);
+  Packet only = pool.alloc();
+  ASSERT_TRUE(only.valid());
+  Packet dry = pool.alloc();
+  EXPECT_FALSE(dry.valid());
+  Packet drier = pool.alloc();
+  EXPECT_FALSE(drier.valid());
+  EXPECT_EQ(pool.stats().exhaustions, 2u);
+  if constexpr (obs::kObsEnabled) {
+    EXPECT_EQ(counter.value(), before + 2);
+  } else {
+    EXPECT_EQ(counter.value(), before);
+  }
 }
 
 TEST(Packet, SlotsAreRecycledLifo) {
