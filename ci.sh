@@ -2,10 +2,11 @@
 # CI entry point: tier-1 verify in Release and Debug with warnings as
 # errors (test suite run twice: forced-scalar and auto SIMD dispatch), a
 # bench-smoke stage that exercises the JSON/compare pipeline plus the
-# kernel-backend determinism gate, an ASan+UBSan pass, chaos, traffic and
-# mesh smoke stages driving the fault, net and backhaul benches under the
-# sanitizers, and a docs stage (skipped with a notice when doxygen is
-# absent).
+# kernel-backend determinism gate, an ASan+UBSan pass, chaos, traffic,
+# mesh and scale smoke stages driving the fault, net, backhaul and metro
+# benches under the sanitizers (plus a full-size bench_d1_fleet compare
+# gate for the SoA service rewire), and a docs stage (skipped with a
+# notice when doxygen is absent).
 # Usage: ./ci.sh [extra ctest args...]
 set -eu
 
@@ -52,7 +53,7 @@ cmake -B "${build_dir}" -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build "${build_dir}" -j --target mmtag_tests bench_d1_fleet \
-  bench_d2_chaos bench_n1_traffic bench_m1_mesh
+  bench_d2_chaos bench_n1_traffic bench_m1_mesh bench_d3_metro
 # Both dispatch modes under the sanitizers: the SIMD loadu/storeu edge
 # handling is exactly where ASan earns its keep.
 for kern in scalar auto; do
@@ -105,6 +106,27 @@ echo "=== Mesh smoke (reader backhaul under ASan, JSON self-compare) ==="
   --compare "${out_dir}/BENCH_m1_mesh.json" --threshold 1.0 > /dev/null
 echo "mesh smoke OK: ${out_dir}/BENCH_m1_mesh.json"
 
+echo "=== Scale smoke (metro world under ASan, JSON self-compare) ==="
+# A 50k-tag slice of the metro bench self-checks the scale layer's two
+# hard claims — bit-identical state fingerprints across {1,4,hw}-thread
+# epochs, and the >= 10x indexed-vs-linear candidate margin — with the
+# SoA gather/slab paths and the grid index running under the sanitizers.
+"${build_dir}/bench/bench_d3_metro" --csv --tags 50000 --margin-tags 50000 \
+  --epochs 2 --warmup 0 --repeat 1 \
+  --json "${out_dir}/BENCH_d3_metro.json" > /dev/null
+"${build_dir}/bench/bench_d3_metro" --csv --tags 50000 --margin-tags 50000 \
+  --epochs 2 --warmup 0 --repeat 1 \
+  --compare "${out_dir}/BENCH_d3_metro.json" --threshold 1.0 > /dev/null
+# The fleet now accumulates per-tag service through the SoA bridge
+# (scale::FleetTagBridge); gate the full 16-reader / 2000-tag baseline
+# through the compare pipeline to prove the rewire regressed nothing.
+"${bench_dir}/bench_d1_fleet" --csv --warmup 0 --repeat 1 \
+  --json "${out_dir}/BENCH_d1_fleet_baseline.json" > /dev/null
+"${bench_dir}/bench_d1_fleet" --csv --warmup 0 --repeat 1 \
+  --compare "${out_dir}/BENCH_d1_fleet_baseline.json" --threshold 1.0 \
+  > /dev/null
+echo "scale smoke OK: ${out_dir}/BENCH_d3_metro.json"
+
 echo "=== Docs (Doxygen, warnings fatal for src/kern src/obs src/fault) ==="
 # The Doxyfile sets WARN_AS_ERROR, so undocumented public members in the
 # covered directories fail this stage. Containers without doxygen skip it
@@ -116,4 +138,4 @@ else
   echo "docs SKIPPED: doxygen not installed on this host"
 fi
 
-echo "=== CI OK: Release + Debug (-Werror, scalar+auto), bench smoke, ASan+UBSan, chaos smoke, traffic smoke, mesh smoke, docs ==="
+echo "=== CI OK: Release + Debug (-Werror, scalar+auto), bench smoke, ASan+UBSan, chaos smoke, traffic smoke, mesh smoke, scale smoke, docs ==="

@@ -12,6 +12,7 @@
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/phys/constants.hpp"
+#include "src/scale/bridge.hpp"
 #include "src/sim/rng.hpp"
 
 namespace mmtag::deploy {
@@ -150,7 +151,11 @@ FleetResult FleetSimulator::run() {
   // inventory this epoch. Identical to `live` without a mesh hook.
   std::vector<std::uint8_t> serviceable(m, 1);
 
-  std::vector<TagService> merged(n);
+  // Per-tag service state lives in SoA columns (scale::TagStore) behind
+  // the compatibility bridge; accumulation order and arithmetic match the
+  // historical vector<TagService> merge exactly, so every pinned
+  // fingerprint is preserved.
+  scale::FleetTagBridge bridge(layout.tags);
   std::vector<CellEpochResult> epoch_results(m);
   int handoffs = 0;
   double utilization_sum = 0.0;
@@ -238,14 +243,8 @@ FleetResult FleetSimulator::run() {
       const CellEpochResult& cell = epoch_results[c];
       for (std::size_t k = 0; k < rosters[c].size(); ++k) {
         const TagService& seen = cell.service[k];
-        TagService& tag = merged[rosters[c][k]];
-        tag.tag_id = seen.tag_id;
-        tag.delivered_bits += seen.delivered_bits;
-        tag.polls += seen.polls;
-        if (seen.read) {
-          tag.read = true;
-          tag.first_read_s = std::min(tag.first_read_s, seen.first_read_s);
-        }
+        bridge.accumulate(rosters[c][k], seen.read, seen.first_read_s,
+                          seen.delivered_bits, seen.polls);
       }
       utilization_sum += cell.airtime_s / config_.epoch_duration_s;
       reads_total += static_cast<std::uint64_t>(cell.tags_discovered);
@@ -279,6 +278,7 @@ FleetResult FleetSimulator::run() {
         layout.tags[t].set_pose(core::Pose{
             pos, channel::bearing_rad(
                      pos, layout.reader_poses[owner].position)});
+        bridge.on_tag_moved(t, layout.tags[t].pose());
         for (ReaderCell& cell : cells) {
           cell.on_tag_moved(layout.tags[t].id());
         }
@@ -292,7 +292,11 @@ FleetResult FleetSimulator::run() {
 
   FleetResult result;
   const double duration_s = config_.epochs * config_.epoch_duration_s;
-  result.stats = summarize_service(merged, duration_s);
+  const scale::TagStore& store = bridge.store();
+  result.stats = summarize_service(
+      ServiceColumns{store.slots(), store.read_flags(), store.first_read_s(),
+                     store.delivered_bits()},
+      duration_s);
   result.stats.readers = static_cast<int>(m);
   result.stats.handoffs = handoffs;
   result.stats.reader_utilization =
@@ -306,10 +310,10 @@ FleetResult FleetSimulator::run() {
   if constexpr (obs::kObsEnabled) {
     tags_read_metric().add(reads_total);
     handoffs_metric().add(static_cast<std::uint64_t>(handoffs));
-    for (const TagService& tag : merged) {
-      if (tag.read) {
+    for (std::size_t t = 0; t < store.slots(); ++t) {
+      if (store.read_flags()[t] != 0) {
         first_read_us_metric().record(
-            static_cast<std::uint64_t>(tag.first_read_s * 1e6));
+            static_cast<std::uint64_t>(store.first_read_s()[t] * 1e6));
       }
     }
   }
@@ -345,7 +349,17 @@ FleetResult FleetSimulator::run() {
     record_fault_metrics(report, recoveries, config_.epoch_duration_s);
   }
   result.fault = report;
-  result.service = std::move(merged);
+  // Materialize the AoS service export (mesh/net consumers) once, from
+  // the columns — the only per-tag record construction in the run.
+  result.service.resize(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    TagService& tag = result.service[t];
+    tag.tag_id = store.ids()[t];
+    tag.read = store.read_flags()[t] != 0;
+    tag.first_read_s = store.first_read_s()[t];
+    tag.delivered_bits = store.delivered_bits()[t];
+    tag.polls = store.polls()[t];
+  }
   result.last_epoch = std::move(epoch_results);
   result.plans = plans;
   result.sweep.points = m * static_cast<std::size_t>(config_.epochs);

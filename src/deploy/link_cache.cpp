@@ -33,15 +33,21 @@ obs::Counter& evictions_metric() {
       obs::Registry::instance().counter("deploy.cache.evictions");
   return counter;
 }
+obs::Counter& lru_evictions_metric() {
+  static obs::Counter& counter =
+      obs::Registry::instance().counter("deploy.cache.lru_evictions");
+  return counter;
+}
 
 }  // namespace
 
 LinkCache::LinkCache(reader::MmWaveReader reader,
                      const channel::Environment* env,
                      const phy::RateTable* rates, bool enabled,
-                     int reader_id)
+                     int reader_id, std::size_t tag_capacity)
     : reader_(std::move(reader)), env_(env), rates_(rates),
-      enabled_(enabled), reader_id_(reader_id) {
+      enabled_(enabled), reader_id_(reader_id),
+      tag_capacity_(tag_capacity) {
   assert(env_ != nullptr && rates_ != nullptr);
 }
 
@@ -50,7 +56,13 @@ const reader::LinkReport& LinkCache::link(const core::MmTag& tag,
                                           double boresight_rad) {
   ++stats_.lookups;
   if constexpr (obs::kObsEnabled) cache_lookups_metric().add(1);
-  TagEntry& entry = entries_[tag.id()];
+  auto it = entries_.find(tag.id());
+  if (it == entries_.end()) {
+    if (tag_capacity_ > 0 && entries_.size() >= tag_capacity_) evict_lru();
+    it = entries_.emplace(tag.id(), TagEntry{}).first;
+  }
+  TagEntry& entry = it->second;
+  entry.last_used = ++tick_;
 
   if (enabled_) {
     const auto cached = entry.reports.find(beam_key);
@@ -87,6 +99,30 @@ const reader::LinkReport& LinkCache::link(const core::MmTag& tag,
 std::uint64_t LinkCache::entry_size(const TagEntry& entry) {
   return static_cast<std::uint64_t>(entry.reports.size()) +
          (entry.paths_valid ? 1u : 0u);
+}
+
+void LinkCache::evict_lru() {
+  auto victim = entries_.end();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    // Oldest lookup wins; equal ticks (only possible for never-looked-up
+    // entries) break toward the smallest tag id, keeping eviction order
+    // independent of unordered_map iteration order.
+    if (victim == entries_.end() ||
+        it->second.last_used < victim->second.last_used ||
+        (it->second.last_used == victim->second.last_used &&
+         it->first < victim->first)) {
+      victim = it;
+    }
+  }
+  if (victim == entries_.end()) return;
+  const std::uint64_t evicted = entry_size(victim->second);
+  stats_.evictions += evicted;
+  ++stats_.lru_evictions;
+  if constexpr (obs::kObsEnabled) {
+    evictions_metric().add(evicted);
+    lru_evictions_metric().add(1);
+  }
+  entries_.erase(victim);
 }
 
 void LinkCache::invalidate_tag(std::uint32_t tag_id) {

@@ -36,6 +36,9 @@ void block_sum_complex(const std::complex<double>* x, std::size_t nblocks,
                        std::size_t block, std::complex<double>* out);
 void threshold_below(const double* stats, std::size_t n, double threshold,
                      std::uint8_t* bits);
+void squared_distance(const double* xs, const double* ys, double cx,
+                      double cy, std::size_t n, double* out);
+std::uint64_t count_below(const double* x, std::size_t n, double threshold);
 std::uint32_t fm0_decode_bytes(const std::uint8_t* chips, std::size_t nbits,
                                std::uint8_t* bits);
 std::uint16_t crc16_bits(const std::uint8_t* bytes, std::size_t nbits);

@@ -112,6 +112,22 @@ struct Kernels {
   void (*threshold_below)(const double* stats, std::size_t n,
                           double threshold, std::uint8_t* bits);
 
+  // --- Batched geometry (scale layer slabs). ---
+
+  /// `out[i] = (xs[i]-cx)^2 + (ys[i]-cy)^2`. Per-element order
+  /// (sub, sub, mul, mul, add — no FMA), so SIMD lanes reproduce the
+  /// scalar bits exactly. The squared-distance domain is where the scale
+  /// layer evaluates detection and rate tiers (a monostatic backscatter
+  /// budget is monotonic in distance, so power thresholds become r^2
+  /// thresholds and no per-element log10 is needed).
+  void (*squared_distance)(const double* xs, const double* ys, double cx,
+                           double cy, std::size_t n, double* out);
+
+  /// Number of `x[i] < threshold` over `x[0..n)`. Integer count —
+  /// order-independent, hence trivially bit-identical across backends.
+  std::uint64_t (*count_below)(const double* x, std::size_t n,
+                               double threshold);
+
   /// Branch-free FM0 decode of `2*nbits` chip bytes (0/1 each) into
   /// `nbits` bit bytes. Returns 1 when the chip stream is a valid FM0
   /// sequence from the idle-high convention (every bit boundary

@@ -22,6 +22,8 @@ const Kernels* neon_table() {
       &scalar::butterfly_pass,
       &scalar::block_sum_complex,
       &scalar::threshold_below,
+      &scalar::squared_distance,
+      &scalar::count_below,
       &scalar::fm0_decode_bytes,
       &scalar::crc16_bits,
   };

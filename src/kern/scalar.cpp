@@ -185,6 +185,23 @@ void threshold_below(const double* stats, std::size_t n, double threshold,
   }
 }
 
+void squared_distance(const double* xs, const double* ys, double cx,
+                      double cy, std::size_t n, double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - cx;
+    const double dy = ys[i] - cy;
+    out[i] = dx * dx + dy * dy;
+  }
+}
+
+std::uint64_t count_below(const double* x, std::size_t n, double threshold) {
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    count += x[i] < threshold ? 1u : 0u;
+  }
+  return count;
+}
+
 std::uint32_t fm0_decode_bytes(const std::uint8_t* chips, std::size_t nbits,
                                std::uint8_t* bits) {
   std::uint8_t ok = 1;
@@ -256,6 +273,8 @@ const Kernels* scalar_table() {
       &scalar::butterfly_pass,
       &scalar::block_sum_complex,
       &scalar::threshold_below,
+      &scalar::squared_distance,
+      &scalar::count_below,
       &scalar::fm0_decode_bytes,
       &scalar::crc16_bits,
   };

@@ -226,6 +226,41 @@ void threshold_below_sse42(const double* stats, std::size_t n,
   }
 }
 
+void squared_distance_sse42(const double* xs, const double* ys, double cx,
+                            double cy, std::size_t n, double* out) {
+  const __m128d vcx = _mm_set1_pd(cx);
+  const __m128d vcy = _mm_set1_pd(cy);
+  const std::size_t n2 = n & ~std::size_t{1};
+  for (std::size_t i = 0; i < n2; i += 2) {
+    const __m128d dx = _mm_sub_pd(_mm_loadu_pd(xs + i), vcx);
+    const __m128d dy = _mm_sub_pd(_mm_loadu_pd(ys + i), vcy);
+    _mm_storeu_pd(out + i, _mm_add_pd(_mm_mul_pd(dx, dx),
+                                      _mm_mul_pd(dy, dy)));
+  }
+  for (std::size_t i = n2; i < n; ++i) {
+    const double dx = xs[i] - cx;
+    const double dy = ys[i] - cy;
+    out[i] = dx * dx + dy * dy;
+  }
+}
+
+std::uint64_t count_below_sse42(const double* x, std::size_t n,
+                                double threshold) {
+  const __m128d thr = _mm_set1_pd(threshold);
+  std::uint64_t count = 0;
+  const std::size_t n2 = n & ~std::size_t{1};
+  for (std::size_t i = 0; i < n2; i += 2) {
+    const int mask =
+        _mm_movemask_pd(_mm_cmplt_pd(_mm_loadu_pd(x + i), thr));
+    count += static_cast<std::uint64_t>(__builtin_popcount(
+        static_cast<unsigned>(mask)));
+  }
+  for (std::size_t i = n2; i < n; ++i) {
+    count += x[i] < threshold ? 1u : 0u;
+  }
+  return count;
+}
+
 std::uint32_t fm0_decode_bytes_sse42(const std::uint8_t* chips,
                                      std::size_t nbits, std::uint8_t* bits) {
   // 16 chips (8 bits) per iteration; the byte lanes continue in 64-bit
@@ -277,6 +312,8 @@ const Kernels* sse42_table() {
       &butterfly_pass_sse42,
       &block_sum_complex_sse42,
       &threshold_below_sse42,
+      &squared_distance_sse42,
+      &count_below_sse42,
       &fm0_decode_bytes_sse42,
       &crc16_bits_sliced,
   };

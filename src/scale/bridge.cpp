@@ -1,0 +1,14 @@
+#include "src/scale/bridge.hpp"
+
+namespace mmtag::scale {
+
+FleetTagBridge::FleetTagBridge(const std::vector<core::MmTag>& tags) {
+  store_.reserve(tags.size());
+  for (const core::MmTag& tag : tags) {
+    const core::Pose& pose = tag.pose();
+    store_.create(tag.id(), pose.position.x, pose.position.y,
+                  pose.orientation_rad);
+  }
+}
+
+}  // namespace mmtag::scale

@@ -1,0 +1,64 @@
+// Compatibility bridge between deploy's per-object tag fleet and the
+// scale layer's SoA TagStore.
+//
+// deploy::FleetSimulator keeps its faithful per-object simulation (cells,
+// caches, faults — every RNG draw unchanged), but its per-tag *service
+// bookkeeping* — the merged read flags, first-read instants, delivered
+// bits and poll counts that summarize_service() aggregates — now lives in
+// TagStore columns instead of a std::vector<TagService>. The bridge owns
+// that store, mirrors tag identity and pose from the layout's
+// core::MmTag objects (slot == tag index), and keeps positions in sync
+// on mobility. Stats then stream straight over the columns
+// (deploy::ServiceColumns), and the fleet's service export materializes
+// AoS records only once, at the end of the run.
+//
+// The contract the fleet's pinned fingerprints rest on: accumulation
+// through the bridge happens in the same (cell, roster) merge order and
+// with the same arithmetic as the old vector<TagService> loop, so every
+// aggregate is bit-identical to the pre-bridge implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/tag.hpp"
+#include "src/scale/tag_store.hpp"
+
+namespace mmtag::scale {
+
+class FleetTagBridge {
+ public:
+  /// Mirror `tags` into a dense store: slot t holds tag t's id, position
+  /// and orientation; service columns start zeroed (first_read = +inf).
+  explicit FleetTagBridge(const std::vector<core::MmTag>& tags);
+
+  [[nodiscard]] TagStore& store() { return store_; }
+  [[nodiscard]] const TagStore& store() const { return store_; }
+
+  /// Keep the pose columns in sync after deploy moves tag `t`.
+  void on_tag_moved(std::size_t t, const core::Pose& pose) {
+    store_.set_position(static_cast<TagSlot>(t), pose.position.x,
+                        pose.position.y);
+    store_.set_orientation(static_cast<TagSlot>(t), pose.orientation_rad);
+  }
+
+  /// Merge one cell-epoch observation of tag `t` — the exact update the
+  /// old merged[] loop performed, in the same field order.
+  void accumulate(std::size_t t, bool read, double first_read_s,
+                  double delivered_bits, long polls) {
+    const TagSlot slot = static_cast<TagSlot>(t);
+    store_.delivered_bits()[slot] += delivered_bits;
+    store_.polls()[slot] += polls;
+    if (read) {
+      store_.read_flags()[slot] = 1;
+      if (first_read_s < store_.first_read_s()[slot]) {
+        store_.first_read_s()[slot] = first_read_s;
+      }
+    }
+  }
+
+ private:
+  TagStore store_;
+};
+
+}  // namespace mmtag::scale

@@ -1,0 +1,311 @@
+#include "src/scale/world.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "src/obs/stats.hpp"
+#include "src/phy/rate_table.hpp"
+#include "src/sim/rng.hpp"
+
+namespace mmtag::scale {
+
+namespace {
+
+/// 53-bit mantissa uniform in [0, 1) from raw hash bits.
+inline double unit_double(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::uint64_t MetroStats::fingerprint() const {
+  obs::Fnv1a h;
+  h.mix_u64(static_cast<std::uint64_t>(tags));
+  h.mix_u64(static_cast<std::uint64_t>(readers));
+  h.mix_u64(epochs);
+  h.mix_u64(detected);
+  h.mix_u64(polls);
+  h.mix_u64(successes);
+  h.mix_u64(interference_pairs);
+  h.mix_u64(moved);
+  h.mix_u64(handoffs);
+  h.mix_u64(tags_read);
+  h.mix_double(delivered_bits);
+  h.mix_double(energy_j);
+  return h.digest();
+}
+
+struct MetroWorld::ReaderResult {
+  std::uint64_t candidates = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t polls = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t new_reads = 0;
+  std::uint64_t interference_pairs = 0;
+  double delivered_bits = 0.0;
+};
+
+MetroWorld::MetroWorld(const MetroConfig& config)
+    : config_(config),
+      index_(config.width_m, config.height_m, config.index_cell_m),
+      model_(BatchLinkModel::from_budget(config.budget,
+                                         phy::RateTable::mmtag_standard())) {
+  assert(config.readers_x > 0 && config.readers_y > 0);
+  detect_range_m_ = std::sqrt(model_.detect_r2_m2);
+  gather_radius_m_ = std::max(detect_range_m_, config.interference_radius_m);
+  poll_base_ = sim::derive_seed(config.seed, 0x706F6C6CULL);  // "poll"
+  move_base_ = sim::derive_seed(config.seed, 0x6D6F7665ULL);  // "move"
+  const std::uint64_t init_base =
+      sim::derive_seed(config.seed, 0x696E6974ULL);  // "init"
+
+  store_.reserve(config.tags);
+  for (std::size_t t = 0; t < config.tags; ++t) {
+    const std::uint64_t bits = sim::derive_seed(init_base, t);
+    const double x =
+        static_cast<double>(bits & 0xFFFFFFFFULL) * 0x1.0p-32 * config.width_m;
+    const double y =
+        static_cast<double>(bits >> 32) * 0x1.0p-32 * config.height_m;
+    const double orient =
+        unit_double(sim::derive_seed(bits, 1)) * 6.283185307179586;
+    const TagSlot slot = store_.create(static_cast<std::uint32_t>(t), x, y,
+                                       orient, config.initial_energy_j);
+    index_.insert(slot, x, y);
+  }
+}
+
+double MetroWorld::reader_x(int r) const {
+  const double spacing = config_.width_m / config_.readers_x;
+  return (static_cast<double>(r % config_.readers_x) + 0.5) * spacing;
+}
+
+double MetroWorld::reader_y(int r) const {
+  const double spacing = config_.height_m / config_.readers_y;
+  return (static_cast<double>(r / config_.readers_x) + 0.5) * spacing;
+}
+
+int MetroWorld::owner_of(double x, double y) const {
+  const double sx = config_.width_m / config_.readers_x;
+  const double sy = config_.height_m / config_.readers_y;
+  const int col = std::clamp(static_cast<int>(std::floor(x / sx)), 0,
+                             config_.readers_x - 1);
+  const int row = std::clamp(static_cast<int>(std::floor(y / sy)), 0,
+                             config_.readers_y - 1);
+  return row * config_.readers_x + col;
+}
+
+MetroEpochStats MetroWorld::run_epoch(sim::ThreadPool& pool) {
+  const int n_readers = readers();
+  const std::size_t n_slots = store_.slots();
+  const double t_now = static_cast<double>(epochs_run_) * config_.epoch_duration_s;
+  const double intf_r2 =
+      config_.interference_radius_m * config_.interference_radius_m;
+  // Delivered bits per successful poll scale with the tag's rate tier:
+  // the poll grants a fixed airtime slot sized to carry `payload_bits`
+  // at the slowest tier, so a 1 Gbps tag moves 100x the payload of a
+  // 10 Mbps tag in the same slot.
+  const double base_rate =
+      model_.tier_rate_bps.empty() ? 1.0 : model_.tier_rate_bps.back();
+
+  // --- Service phase: shard by reader. Ownership partitioning makes
+  // every store write disjoint (a tag is owned by exactly one reader);
+  // results merge serially in reader order below.
+  std::vector<ReaderResult> results(static_cast<std::size_t>(n_readers));
+  std::uint64_t linear_before = linear_candidates_;
+  pool.parallel_for(static_cast<std::size_t>(n_readers), [&](std::size_t ri) {
+    const int r = static_cast<int>(ri);
+    const double rx = reader_x(r);
+    const double ry = reader_y(r);
+    ReaderResult& out = results[ri];
+
+    std::vector<TagSlot> cands;
+    if (config_.use_index) {
+      index_.gather_disc(rx, ry, gather_radius_m_, cands);
+      // Cell buckets arrive in row-major cell order; canonicalize to
+      // ascending slot order so the poll sequence (and therefore the RNG
+      // consumption) is a pure function of the candidate *set*.
+      std::sort(cands.begin(), cands.end());
+    } else {
+      cands.reserve(n_slots);
+      for (std::size_t s = 0; s < n_slots; ++s) {
+        if (store_.alive(static_cast<TagSlot>(s))) {
+          cands.push_back(static_cast<TagSlot>(s));
+        }
+      }
+    }
+    out.candidates = cands.size();
+
+    EpochBatcher batcher;
+    const BatchResult& batch = batcher.evaluate(store_, cands, rx, ry, model_);
+
+    std::mt19937_64 rng = sim::make_rng(sim::derive_seed(
+        poll_base_, epochs_run_ * static_cast<std::uint64_t>(n_readers) +
+                        static_cast<std::uint64_t>(r)));
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+
+    const double* xs = store_.xs();
+    const double* ys = store_.ys();
+    double* energy = store_.energies();
+    std::uint8_t* read = store_.read_flags();
+    double* first_read = store_.first_read_s();
+    double* delivered = store_.delivered_bits();
+    long* polls = store_.polls();
+
+    int budget_left = config_.polls_per_reader;
+    for (std::size_t i = 0; i < batch.count; ++i) {
+      const TagSlot slot = cands[i];
+      const int owner = owner_of(xs[slot], ys[slot]);
+      if (owner != r) {
+        // Foreign tag close enough to contend for the medium.
+        if (batch.d2[i] < intf_r2) ++out.interference_pairs;
+        continue;
+      }
+      if (!batch.detected[i]) continue;
+      ++out.detected;
+      // In the beam: harvest first, then maybe answer a poll.
+      energy[slot] = std::min(config_.energy_cap_j,
+                              energy[slot] + config_.harvest_j_per_epoch);
+      if (budget_left <= 0 || energy[slot] < config_.respond_cost_j) continue;
+      --budget_left;
+      ++out.polls;
+      ++polls[slot];
+      if (uni(rng) < config_.poll_success_prob) {
+        ++out.successes;
+        energy[slot] -= config_.respond_cost_j;
+        const double bits =
+            config_.payload_bits * (batch.rate_bps[i] / base_rate);
+        delivered[slot] += bits;
+        out.delivered_bits += bits;
+        if (read[slot] == 0) {
+          read[slot] = 1;
+          first_read[slot] = t_now;
+          ++out.new_reads;
+        }
+      }
+    }
+  });
+
+  MetroEpochStats epoch;
+  for (const ReaderResult& r : results) {
+    epoch.candidates += r.candidates;
+    epoch.detected += r.detected;
+    epoch.polls += r.polls;
+    epoch.successes += r.successes;
+    epoch.new_reads += r.new_reads;
+    epoch.interference_pairs += r.interference_pairs;
+    epoch.delivered_bits += r.delivered_bits;
+  }
+  if (!config_.use_index) {
+    linear_candidates_ = linear_before + epoch.candidates;
+  }
+
+  // --- Mobility phase: fixed-size chunks (thread-count independent),
+  // per-slot derived bits, disjoint position writes. Index rebucketing is
+  // applied serially afterwards; bucket sort order makes the final index
+  // state independent of application order anyway.
+  struct MoveRec {
+    TagSlot slot;
+    double old_x, old_y;
+  };
+  struct ChunkResult {
+    std::vector<MoveRec> moves;
+    std::uint64_t moved = 0;
+    std::uint64_t handoffs = 0;
+  };
+  constexpr std::size_t kChunk = 4096;
+  const std::size_t n_chunks = (n_slots + kChunk - 1) / kChunk;
+  std::vector<ChunkResult> chunks(n_chunks);
+  const double step_scale = config_.speed_mps * config_.epoch_duration_s;
+  pool.parallel_for(n_chunks, [&](std::size_t ci) {
+    ChunkResult& out = chunks[ci];
+    const std::size_t lo = ci * kChunk;
+    const std::size_t hi = std::min(lo + kChunk, n_slots);
+    for (std::size_t s = lo; s < hi; ++s) {
+      const TagSlot slot = static_cast<TagSlot>(s);
+      if (!store_.alive(slot)) continue;
+      const std::uint64_t bits = sim::derive_seed(
+          move_base_, epochs_run_ * static_cast<std::uint64_t>(n_slots) + s);
+      if (unit_double(bits) >= config_.move_fraction) continue;
+      const std::uint64_t step_bits = sim::derive_seed(bits, 0x6D76ULL);
+      const double u1 =
+          static_cast<double>(step_bits & 0xFFFFFFFFULL) * 0x1.0p-32;
+      const double u2 = static_cast<double>(step_bits >> 32) * 0x1.0p-32;
+      const double old_x = store_.xs()[slot];
+      const double old_y = store_.ys()[slot];
+      const double new_x = std::clamp(old_x + (2.0 * u1 - 1.0) * step_scale,
+                                      0.0, config_.width_m);
+      const double new_y = std::clamp(old_y + (2.0 * u2 - 1.0) * step_scale,
+                                      0.0, config_.height_m);
+      store_.set_position(slot, new_x, new_y);
+      ++out.moved;
+      if (owner_of(old_x, old_y) != owner_of(new_x, new_y)) ++out.handoffs;
+      if (index_.cell_of(old_x, old_y) != index_.cell_of(new_x, new_y)) {
+        out.moves.push_back({slot, old_x, old_y});
+      }
+    }
+  });
+  for (const ChunkResult& c : chunks) {
+    epoch.moved += c.moved;
+    epoch.handoffs += c.handoffs;
+    for (const MoveRec& m : c.moves) {
+      const TagSlot slot = m.slot;
+      if (index_.move(slot, m.old_x, m.old_y, store_.xs()[slot],
+                      store_.ys()[slot])) {
+        ++epoch.rebuckets;
+      }
+    }
+  }
+
+  ++epochs_run_;
+  detected_total_ += epoch.detected;
+  polls_total_ += epoch.polls;
+  successes_total_ += epoch.successes;
+  interference_total_ += epoch.interference_pairs;
+  moved_total_ += epoch.moved;
+  handoffs_total_ += epoch.handoffs;
+  return epoch;
+}
+
+MetroStats MetroWorld::stats() const {
+  MetroStats s;
+  s.tags = store_.size();
+  s.readers = static_cast<std::size_t>(readers());
+  s.epochs = epochs_run_;
+  s.detected = detected_total_;
+  s.polls = polls_total_;
+  s.successes = successes_total_;
+  s.interference_pairs = interference_total_;
+  s.moved = moved_total_;
+  s.handoffs = handoffs_total_;
+  const std::size_t n = store_.slots();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!store_.alive(static_cast<TagSlot>(i))) continue;
+    s.tags_read += store_.read_flags()[i];
+    s.delivered_bits += store_.delivered_bits()[i];
+    s.energy_j += store_.energies()[i];
+  }
+  return s;
+}
+
+std::uint64_t MetroWorld::state_fingerprint() const {
+  obs::Fnv1a h;
+  const std::size_t n = store_.slots();
+  h.mix_u64(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TagSlot slot = static_cast<TagSlot>(i);
+    h.mix_u64(store_.alive(slot) ? 1 : 0);
+    if (!store_.alive(slot)) continue;
+    h.mix_double(store_.xs()[i]);
+    h.mix_double(store_.ys()[i]);
+    h.mix_double(store_.orientations()[i]);
+    h.mix_double(store_.energies()[i]);
+    h.mix_u64(store_.read_flags()[i]);
+    h.mix_double(store_.first_read_s()[i]);
+    h.mix_double(store_.delivered_bits()[i]);
+    h.mix_u64(static_cast<std::uint64_t>(store_.polls()[i]));
+  }
+  return h.digest();
+}
+
+}  // namespace mmtag::scale

@@ -161,6 +161,56 @@ TEST_F(LinkCacheTest, UnidentifiedReaderIgnoresBulkInvalidation) {
   EXPECT_EQ(cache.stats().hits, 1u);  // Still warm.
 }
 
+TEST_F(LinkCacheTest, CapacityBoundEvictsLeastRecentlyUsed) {
+  LinkCache cache(
+      reader::MmWaveReader::prototype_at(core::Pose{{0.0, 1.0}, 0.0}),
+      &env_, &rates_, /*enabled=*/true, /*reader_id=*/-1,
+      /*tag_capacity=*/2);
+  const core::MmTag t1 =
+      core::MmTag::prototype_at(core::Pose{{2.0, 1.0}, 3.14}, /*id=*/1);
+  const core::MmTag t2 =
+      core::MmTag::prototype_at(core::Pose{{2.5, 1.5}, 3.0}, /*id=*/2);
+  const core::MmTag t3 =
+      core::MmTag::prototype_at(core::Pose{{3.0, 0.5}, 3.0}, /*id=*/3);
+
+  (void)cache.link(t1, 0, 0.0);
+  (void)cache.link(t2, 0, 0.0);
+  EXPECT_EQ(cache.resident_tags(), 2u);
+  (void)cache.link(t1, 0, 0.0);  // Refresh t1: t2 is now the LRU victim.
+  (void)cache.link(t3, 0, 0.0);  // Overflow: t2 evicted, not t1.
+  EXPECT_EQ(cache.resident_tags(), 2u);
+  EXPECT_EQ(cache.stats().lru_evictions, 1u);
+  // t2's report + path set were dropped.
+  EXPECT_EQ(cache.stats().evictions, 2u);
+
+  // t1 survived (hit); t2 must re-trace.
+  const std::uint64_t traces = cache.stats().raytrace_evals;
+  (void)cache.link(t1, 0, 0.0);
+  EXPECT_EQ(cache.stats().raytrace_evals, traces);
+  (void)cache.link(t2, 0, 0.0);
+  EXPECT_EQ(cache.stats().raytrace_evals, traces + 1);
+}
+
+TEST_F(LinkCacheTest, CapacityZeroIsUnbounded) {
+  LinkCache cache(
+      reader::MmWaveReader::prototype_at(core::Pose{{0.0, 1.0}, 0.0}),
+      &env_, &rates_, /*enabled=*/true, /*reader_id=*/-1,
+      /*tag_capacity=*/0);
+  for (std::uint32_t id = 1; id <= 16; ++id) {
+    const core::MmTag tag = core::MmTag::prototype_at(
+        core::Pose{{2.0 + 0.1 * id, 1.0}, 3.14}, id);
+    (void)cache.link(tag, 0, 0.0);
+  }
+  EXPECT_EQ(cache.resident_tags(), 16u);
+  EXPECT_EQ(cache.stats().lru_evictions, 0u);
+}
+
+TEST_F(LinkCacheTest, DefaultCapacityCoversFleetWorkingSets) {
+  LinkCache cache = make_cache();
+  EXPECT_EQ(cache.tag_capacity(), LinkCache::kDefaultTagCapacity);
+  EXPECT_GE(LinkCache::kDefaultTagCapacity, 4000u);
+}
+
 TEST_F(LinkCacheTest, DisabledCacheRetracesEveryLookup) {
   LinkCache cache = make_cache(/*enabled=*/false);
   const double a = cache.link(tag_, 0, 0.0).received_power_dbm;

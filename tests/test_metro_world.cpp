@@ -1,0 +1,215 @@
+// Metro world model (src/scale/world): batched link evaluation against
+// the scalar reference, thread-count invariance, indexed-vs-linear query
+// path equivalence, energy duty cycling, and mobility/handoff accounting.
+#include "src/scale/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/phy/rate_table.hpp"
+#include "src/scale/epoch_batch.hpp"
+
+namespace mmtag::scale {
+namespace {
+
+MetroConfig small_config() {
+  MetroConfig cfg;
+  cfg.width_m = 60.0;
+  cfg.height_m = 60.0;
+  cfg.readers_x = 3;
+  cfg.readers_y = 3;
+  cfg.tags = 2000;
+  cfg.index_cell_m = 4.0;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(BatchLinkModel, TierRangesMatchClosedFormBudget) {
+  const auto budget = phys::BackscatterLinkBudget::mmtag_prototype();
+  const auto rates = phy::RateTable::mmtag_standard();
+  const BatchLinkModel model = BatchLinkModel::from_budget(budget, rates);
+  ASSERT_EQ(model.tier_r2_m2.size(), rates.tiers().size());
+  for (std::size_t t = 0; t < rates.tiers().size(); ++t) {
+    const double r =
+        budget.max_range_m(rates.required_power_dbm(rates.tiers()[t]));
+    EXPECT_DOUBLE_EQ(model.tier_r2_m2[t], r * r);
+    EXPECT_DOUBLE_EQ(model.tier_rate_bps[t], rates.tiers()[t].bit_rate_bps);
+  }
+  // Tiers are rate-descending, so range-ascending; detection = slowest.
+  for (std::size_t t = 1; t < model.tier_r2_m2.size(); ++t) {
+    EXPECT_GT(model.tier_r2_m2[t], model.tier_r2_m2[t - 1]);
+  }
+  EXPECT_DOUBLE_EQ(model.detect_r2_m2, model.tier_r2_m2.back());
+}
+
+TEST(BatchLinkModel, SquaredDomainAgreesWithDbDomainRateTable) {
+  // The squared-distance comparison must reproduce the dB-domain tier
+  // decision of RateTable::achievable_rate_bps at every distance.
+  const auto budget = phys::BackscatterLinkBudget::mmtag_prototype();
+  const auto rates = phy::RateTable::mmtag_standard();
+  const BatchLinkModel model = BatchLinkModel::from_budget(budget, rates);
+  for (double d = 0.05; d < 8.0; d += 0.05) {
+    const double by_db =
+        rates.achievable_rate_bps(budget.received_power_dbm(d));
+    const double by_d2 = model.rate_for_d2(d * d);
+    EXPECT_DOUBLE_EQ(by_d2, by_db) << "distance " << d;
+  }
+}
+
+TEST(EpochBatcher, SlabResultsMatchScalarReference) {
+  const auto budget = phys::BackscatterLinkBudget::mmtag_prototype();
+  const auto rates = phy::RateTable::mmtag_standard();
+  const BatchLinkModel model = BatchLinkModel::from_budget(budget, rates);
+
+  TagStore store;
+  std::vector<TagSlot> slots;
+  for (int i = 0; i < 64; ++i) {
+    const double x = 0.3 * i;
+    const double y = 0.1 * i - 2.0;
+    slots.push_back(store.create(static_cast<std::uint32_t>(i), x, y, 0.0));
+  }
+  EpochBatcher batcher;
+  const BatchResult& batch = batcher.evaluate(store, slots, 3.0, 1.0, model);
+  ASSERT_EQ(batch.count, slots.size());
+  std::uint64_t expected_detected = 0;
+  for (std::size_t i = 0; i < batch.count; ++i) {
+    const double dx = store.xs()[slots[i]] - 3.0;
+    const double dy = store.ys()[slots[i]] - 1.0;
+    const double d2 = dx * dx + dy * dy;
+    EXPECT_EQ(batch.d2[i], d2);
+    EXPECT_EQ(batch.rate_bps[i], model.rate_for_d2(d2));
+    EXPECT_EQ(batch.detected[i] != 0, d2 < model.detect_r2_m2);
+    if (d2 < model.detect_r2_m2) ++expected_detected;
+  }
+  EXPECT_EQ(batch.detected_count, expected_detected);
+}
+
+TEST(MetroWorld, EpochAggregatesAreThreadCountInvariant) {
+  MetroStats ref_stats;
+  std::uint64_t ref_state = 0;
+  for (const int threads : {1, 2, 4}) {
+    MetroWorld world(small_config());
+    sim::ThreadPool pool(threads);
+    for (int e = 0; e < 3; ++e) (void)world.run_epoch(pool);
+    if (threads == 1) {
+      ref_stats = world.stats();
+      ref_state = world.state_fingerprint();
+      continue;
+    }
+    EXPECT_EQ(world.stats().fingerprint(), ref_stats.fingerprint())
+        << "threads=" << threads;
+    EXPECT_EQ(world.state_fingerprint(), ref_state)
+        << "threads=" << threads;
+  }
+}
+
+TEST(MetroWorld, IndexedAndLinearPathsAgreeBitForBit) {
+  MetroConfig indexed = small_config();
+  MetroConfig linear = small_config();
+  linear.use_index = false;
+
+  MetroWorld wi(indexed);
+  MetroWorld wl(linear);
+  sim::ThreadPool pool(2);
+  for (int e = 0; e < 3; ++e) {
+    (void)wi.run_epoch(pool);
+    (void)wl.run_epoch(pool);
+  }
+  EXPECT_EQ(wi.stats().fingerprint(), wl.stats().fingerprint());
+  EXPECT_EQ(wi.state_fingerprint(), wl.state_fingerprint());
+
+  // ...while the indexed path inspected far fewer candidates.
+  EXPECT_LT(wi.index().cost().candidates, wl.linear_candidates());
+}
+
+TEST(MetroWorld, ServesTagsAndDutyCyclesEnergy) {
+  MetroWorld world(small_config());
+  sim::ThreadPool pool(2);
+  MetroEpochStats first = world.run_epoch(pool);
+  EXPECT_GT(first.detected, 0u);
+  EXPECT_GT(first.successes, 0u);
+  EXPECT_EQ(first.new_reads, first.successes);  // Nothing read before.
+  const MetroStats stats = world.stats();
+  EXPECT_EQ(stats.tags_read, first.new_reads);
+  EXPECT_GT(stats.delivered_bits, 0.0);
+
+  // Energy stays within [0, cap] for every tag.
+  const MetroConfig& cfg = world.config();
+  for (std::size_t i = 0; i < world.store().slots(); ++i) {
+    EXPECT_GE(world.store().energies()[i], 0.0);
+    EXPECT_LE(world.store().energies()[i], cfg.energy_cap_j);
+  }
+}
+
+TEST(MetroWorld, RespondCostGatesSecondPoll) {
+  // One reader, one tag in range, no mobility: with harvest below the
+  // respond cost, the tag answers epoch 1, then browns out until its
+  // harvest accumulates back over the threshold.
+  MetroConfig cfg;
+  cfg.width_m = 4.0;
+  cfg.height_m = 4.0;
+  cfg.readers_x = 1;
+  cfg.readers_y = 1;
+  cfg.tags = 1;
+  cfg.index_cell_m = 1.0;
+  cfg.move_fraction = 0.0;
+  cfg.poll_success_prob = 1.0;
+  cfg.initial_energy_j = 3e-6;
+  cfg.harvest_j_per_epoch = 1e-6;
+  cfg.respond_cost_j = 3.5e-6;
+  cfg.energy_cap_j = 10e-6;
+  cfg.seed = 5;
+  MetroWorld world(cfg);
+  sim::ThreadPool pool(1);
+  const MetroEpochStats e1 = world.run_epoch(pool);  // 3+1=4 >= 3.5: answers.
+  EXPECT_EQ(e1.successes, 1u);
+  const MetroEpochStats e2 = world.run_epoch(pool);  // 0.5+1=1.5: browned out.
+  EXPECT_EQ(e2.successes, 0u);
+  EXPECT_EQ(e2.detected, 1u);  // Still discoverable, just energy-gated.
+}
+
+TEST(MetroWorld, MobilityMovesRebucketsAndHandsOff) {
+  MetroConfig cfg = small_config();
+  cfg.move_fraction = 0.5;
+  cfg.speed_mps = 40.0;  // Big steps force cell and owner changes.
+  MetroWorld world(cfg);
+  sim::ThreadPool pool(2);
+  MetroEpochStats epoch = world.run_epoch(pool);
+  EXPECT_GT(epoch.moved, 0u);
+  EXPECT_GT(epoch.rebuckets, 0u);
+  EXPECT_GT(epoch.handoffs, 0u);
+  EXPECT_LE(epoch.handoffs, epoch.moved);
+  // The index tracked every move: occupancy unchanged, positions fresh.
+  EXPECT_EQ(world.index().occupancy(), cfg.tags);
+}
+
+TEST(MetroWorld, OwnerPartitionIsNearestReader) {
+  MetroWorld world(small_config());
+  // Centre of reader 4's rectangle (middle of 3x3).
+  const double rx = world.reader_x(4);
+  const double ry = world.reader_y(4);
+  EXPECT_EQ(world.owner_of(rx, ry), 4);
+  // A point is owned by the closest reader on the regular grid.
+  for (int r = 0; r < world.readers(); ++r) {
+    EXPECT_EQ(world.owner_of(world.reader_x(r), world.reader_y(r)), r);
+  }
+}
+
+TEST(MetroWorld, StatsFingerprintTracksState) {
+  MetroWorld a(small_config());
+  MetroWorld b(small_config());
+  MetroConfig other = small_config();
+  other.seed = 78;
+  MetroWorld c(other);
+  sim::ThreadPool pool(2);
+  (void)a.run_epoch(pool);
+  (void)b.run_epoch(pool);
+  (void)c.run_epoch(pool);
+  EXPECT_EQ(a.stats().fingerprint(), b.stats().fingerprint());
+  EXPECT_EQ(a.state_fingerprint(), b.state_fingerprint());
+  EXPECT_NE(a.state_fingerprint(), c.state_fingerprint());
+}
+
+}  // namespace
+}  // namespace mmtag::scale
