@@ -3,10 +3,11 @@
 # errors (test suite run twice: forced-scalar and auto SIMD dispatch), a
 # bench-smoke stage that exercises the JSON/compare pipeline plus the
 # kernel-backend determinism gate, an ASan+UBSan pass, chaos, traffic,
-# mesh and scale smoke stages driving the fault, net, backhaul and metro
-# benches under the sanitizers (plus a full-size bench_d1_fleet compare
-# gate for the SoA service rewire), and a docs stage (skipped with a
-# notice when doxygen is absent).
+# mesh, scale and resil smoke stages driving the fault, net, backhaul,
+# metro and control-plane benches under the sanitizers (plus a full-size
+# bench_d1_fleet compare gate for the SoA service rewire), a TSan pass
+# over the test suite for the health monitor's cross-thread record path,
+# and a docs stage (skipped with a notice when doxygen is absent).
 # Usage: ./ci.sh [extra ctest args...]
 set -eu
 
@@ -53,7 +54,8 @@ cmake -B "${build_dir}" -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build "${build_dir}" -j --target mmtag_tests bench_d1_fleet \
-  bench_d2_chaos bench_n1_traffic bench_m1_mesh bench_d3_metro
+  bench_d2_chaos bench_n1_traffic bench_m1_mesh bench_d3_metro \
+  bench_r1_resil
 # Both dispatch modes under the sanitizers: the SIMD loadu/storeu edge
 # handling is exactly where ASan earns its keep.
 for kern in scalar auto; do
@@ -127,6 +129,34 @@ echo "=== Scale smoke (metro world under ASan, JSON self-compare) ==="
   > /dev/null
 echo "scale smoke OK: ${out_dir}/BENCH_d3_metro.json"
 
+echo "=== Resil smoke (control plane under ASan, JSON self-compare) ==="
+# bench_r1_resil hard-gates the resilience control plane's four claims —
+# thread-count-invariant detection fingerprints, <= 2-epoch detection
+# lag under chaos(0.5), a strict goodput margin for control-plane-on
+# under a correlated-domain incident, and bit-identity with the legacy
+# world when the plumbing is dormant — here with the monitor's
+# cross-thread record path and the adoption remap running under the
+# sanitizers.
+"${build_dir}/bench/bench_r1_resil" --csv --warmup 0 --repeat 1 \
+  --json "${out_dir}/BENCH_r1_resil.json" > /dev/null
+"${build_dir}/bench/bench_r1_resil" --csv --warmup 0 --repeat 1 \
+  --compare "${out_dir}/BENCH_r1_resil.json" --threshold 1.0 > /dev/null
+echo "resil smoke OK: ${out_dir}/BENCH_r1_resil.json"
+
+echo "=== TSan build (monitor cross-thread snapshot path) ==="
+# HealthMonitor::record is the one API meant to be hit from parallel
+# workers while the coordinating thread later snapshots in end_epoch();
+# ThreadSanitizer over the suite proves the relaxed-atomic contract and
+# the epoch fan-out it rides in (MetroWorld shards, sim::ThreadPool).
+build_dir="build-ci-tsan"
+cmake -B "${build_dir}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build "${build_dir}" -j --target mmtag_tests
+(cd "${build_dir}" && ctest --output-on-failure -j "$@")
+echo "TSan OK"
+
 echo "=== Docs (Doxygen, warnings fatal for src/kern src/obs src/fault) ==="
 # The Doxyfile sets WARN_AS_ERROR, so undocumented public members in the
 # covered directories fail this stage. Containers without doxygen skip it
@@ -138,4 +168,4 @@ else
   echo "docs SKIPPED: doxygen not installed on this host"
 fi
 
-echo "=== CI OK: Release + Debug (-Werror, scalar+auto), bench smoke, ASan+UBSan, chaos smoke, traffic smoke, mesh smoke, scale smoke, docs ==="
+echo "=== CI OK: Release + Debug (-Werror, scalar+auto), bench smoke, ASan+UBSan, chaos smoke, traffic smoke, mesh smoke, scale smoke, resil smoke, TSan, docs ==="

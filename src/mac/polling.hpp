@@ -19,6 +19,7 @@
 #include "src/core/tag.hpp"
 #include "src/phy/rate_table.hpp"
 #include "src/reader/reader.hpp"
+#include "src/resil/retry.hpp"
 
 namespace mmtag::mac {
 
@@ -41,6 +42,12 @@ struct PollingConfig {
   double poll_timeout_s = 50e-6;
   /// Rounds a quarantined tag sits out before being re-tried.
   int quarantine_rounds = 1;
+  /// Shared retry policy (DESIGN.md Sec. 15). The retry count routes
+  /// through `retry.effective_budget(retry_budget)` and the backoff gaps
+  /// through `retry.delay_s` (base inherited from backoff_base_s when the
+  /// policy leaves it 0), so the default policy reproduces the legacy
+  /// fixed schedule exactly.
+  resil::RetryPolicy retry{};
 };
 
 struct PollRecord {
@@ -50,6 +57,9 @@ struct PollRecord {
   bool reachable = false;
   int attempts = 1;          ///< Polls sent (1 + retries consumed).
   bool quarantined = false;  ///< Skipped: serving a quarantine sentence.
+  /// Backoff gaps the failing tag waited out (spent polling other tags —
+  /// latency for this tag, never channel time).
+  double backoff_s = 0.0;
 };
 
 struct PollingResult {

@@ -104,6 +104,9 @@ std::uint64_t fingerprint(const MeshStats& stats) {
   hasher.mix_u64(static_cast<std::uint64_t>(stats.topology_epochs));
   hasher.mix_u64(static_cast<std::uint64_t>(stats.convergence_rounds));
   hasher.mix_u64(stats.lsa_transmissions);
+  hasher.mix_u64(stats.breakers_opened);
+  hasher.mix_u64(stats.breakers_reclosed);
+  hasher.mix_u64(stats.breakers_open_end);
   hasher.mix_double(stats.latency_p50_s);
   hasher.mix_double(stats.latency_p95_s);
   hasher.mix_double(stats.latency_p99_s);
@@ -126,9 +129,44 @@ MeshNetwork::MeshNetwork(const MeshTopology* topology, ForwardingConfig config,
   assert(pool_ != nullptr);
   assert(pool_->headroom() >= MeshHeader::kWireBytes);
   assert(config_.ttl > 0 && config_.ttl <= 255);
+  const std::size_t n = topology_->nodes();
+  link_offset_.resize(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    link_offset_[v + 1] =
+        link_offset_[v] + topology_->neighbors(static_cast<int>(v)).size();
+  }
+  if (config_.breakers) {
+    breakers_ = resil::BreakerBank(topology_->links().size(), config_.breaker);
+  }
   stats_.convergence_rounds += protocol_.converge({});
   rebuild_tables(/*only_live=*/false);
   refresh_oracle();
+}
+
+std::size_t MeshNetwork::link_index(int from, int to) const {
+  const std::vector<MeshLink>& out = topology_->neighbors(from);
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    if (out[j].to == to) {
+      return link_offset_[static_cast<std::size_t>(from)] + j;
+    }
+  }
+  assert(false && "no directed link from -> to");
+  return 0;
+}
+
+bool MeshNetwork::breaker_allows(int from, int to) const {
+  if (!config_.breakers) return true;
+  return breakers_.allow(link_index(from, to));
+}
+
+void MeshNetwork::record_hop_outcome(int came_from, int node, bool success) {
+  if (!config_.breakers || came_from < 0) return;
+  const std::size_t link = link_index(came_from, node);
+  if (success) {
+    breakers_.record_success(link);
+  } else {
+    breakers_.record_failure(link);
+  }
 }
 
 void MeshNetwork::begin_epoch(const std::vector<std::uint8_t>& live) {
@@ -136,6 +174,7 @@ void MeshNetwork::begin_epoch(const std::vector<std::uint8_t>& live) {
   assert(in_flight_.empty());  // The previous epoch's queue must be drained.
   live_ = live;
   ++stats_.topology_epochs;
+  if (config_.breakers) breakers_.tick_epoch();
   refresh_oracle();
   mesh_counter("mesh.epochs").add(1);
 }
@@ -144,9 +183,21 @@ void MeshNetwork::rebuild_tables(bool only_live) {
   const std::size_t n = topology_->nodes();
   for (std::size_t v = 0; v < n; ++v) {
     if (only_live && !node_live(static_cast<int>(v))) continue;
-    tables_[v] = RouteTable(protocol_.believed_topology(static_cast<int>(v)),
-                            static_cast<int>(v), topology_->gateways(),
-                            config_.routing);
+    Adjacency believed = protocol_.believed_topology(static_cast<int>(v));
+    if (config_.breakers && breakers_.open_count() > 0) {
+      // Feed breaker state back into the routing metric: an open link's
+      // believed cost is scaled so reconverged paths steer around it
+      // while it still exists as a last resort.
+      for (std::size_t u = 0; u < believed.size(); ++u) {
+        for (MeshLink& link : believed[u]) {
+          if (!breakers_.allow(link_index(static_cast<int>(u), link.to))) {
+            link.cost *= config_.breaker.open_cost_penalty;
+          }
+        }
+      }
+    }
+    tables_[v] = RouteTable(believed, static_cast<int>(v),
+                            topology_->gateways(), config_.routing);
   }
 }
 
@@ -253,6 +304,10 @@ int MeshNetwork::next_hop(int node, int came_from, MeshHeader& header,
       const int next = route.hops[1];
       if (!node_live(next)) continue;
       if (next == came_from) continue;  // No immediate bounce-back.
+      // An open breaker refuses the link outright (HalfOpen admits the
+      // probe); a lower-ranked alternate counts as a shift like any other
+      // failover.
+      if (!breaker_allows(node, next)) continue;
       *shifted = k > 0;
       return next;
     }
@@ -285,6 +340,10 @@ void MeshNetwork::arrive(mac::EventQueue& queue, std::uint32_t id,
   assert(it != in_flight_.end());
   InFlight& flight = it->second;
   const int node = flight.at_node;
+  // The hop that landed here is the breaker's observation: a frame
+  // crossing onto a dead reader is a forwarding failure charged to that
+  // directed link, a live landing is a success.
+  record_hop_outcome(flight.came_from, node, node_live(node));
 
   if (topology_->is_gateway(node) && node_live(node)) {
     // Delivered. Verify the wire header survived the trip, then strip it.
@@ -348,23 +407,12 @@ void MeshNetwork::transmit(mac::EventQueue& queue, std::uint32_t id, int from,
                            int to, double at_s) {
   InFlight& flight = in_flight_.at(id);
   // Locate the directed link and its global index (links() is (from, to)
-  // lexicographic; adjacency shares that order within a node).
-  const std::vector<MeshLink>& out =
-      topology_->neighbors(from);
-  std::size_t offset = 0;
-  for (int v = 0; v < from; ++v) {
-    offset += topology_->neighbors(v).size();
-  }
-  const MeshLink* link = nullptr;
-  std::size_t index = 0;
-  for (std::size_t j = 0; j < out.size(); ++j) {
-    if (out[j].to == to) {
-      link = &out[j];
-      index = offset + j;
-      break;
-    }
-  }
-  assert(link != nullptr);
+  // lexicographic; adjacency shares that order within a node, so the
+  // precomputed out-degree prefix sum gives the index directly).
+  const std::size_t index = link_index(from, to);
+  const MeshLink* link =
+      &topology_->links()[index];
+  assert(link->from == from && link->to == to);
   const double tx_s =
       static_cast<double>(flight.packet.size()) * 8.0 / link->capacity_bps +
       config_.per_hop_overhead_s;
@@ -400,6 +448,12 @@ void MeshNetwork::reconverge() {
 
 MeshStats MeshNetwork::finish(double horizon_s) {
   assert(in_flight_.empty());
+  if (config_.breakers) {
+    stats_.breakers_opened = breakers_.stats().opened;
+    stats_.breakers_reclosed = breakers_.stats().reclosed;
+    stats_.breakers_open_end =
+        static_cast<std::uint64_t>(breakers_.open_count());
+  }
   stats_.latency_p50_s = latencies_s_.empty()
                              ? 0.0
                              : obs::percentile(latencies_s_, 50.0);

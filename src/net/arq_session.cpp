@@ -1,10 +1,25 @@
 #include "src/net/arq_session.hpp"
 
 #include <cassert>
+#include <cstdint>
 #include <memory>
 #include <utility>
 
+#include "src/obs/metrics.hpp"
+
 namespace mmtag::net {
+
+namespace {
+
+/// Frames that died with their retry budget spent (attempt or re-query) —
+/// distinct from in-flight loss, which retries and never lands here.
+obs::Counter& arq_exhausted_sw_metric() {
+  static obs::Counter& counter =
+      obs::Registry::instance().counter("net.arq.exhausted.sw");
+  return counter;
+}
+
+}  // namespace
 
 double ArqSessionResult::goodput_bps(std::size_t payload_bits) const {
   if (elapsed_s <= 0.0) return 0.0;
@@ -54,8 +69,11 @@ void finish_frame(const std::shared_ptr<TransferState>& self, bool delivered,
   if (delivered) {
     ++s.stats.frames_delivered;
   } else {
+    // Either budget (attempt or re-query) is spent: surface it in the
+    // registry so exhaustion is distinguishable from in-flight loss.
     ++s.stats.frames_failed;
     if (exhausted) ++s.stats.requery_exhausted;
+    arq_exhausted_sw_metric().add(1);
   }
   ++s.frame;
   s.attempt = 0;
@@ -77,10 +95,17 @@ void step(const std::shared_ptr<TransferState>& self) {
     if (s.done) s.done(result);
     return;
   }
-  if (s.attempt >= s.config.max_attempts_per_frame) {
+  if (s.config.retry.exhausted(s.attempt, s.config.max_attempts_per_frame)) {
     finish_frame(self, /*delivered=*/false, /*exhausted=*/false);
     return;
   }
+  // Backoff before a retransmission round, keyed per frame so jittered
+  // policies decorrelate across frames. Zero for the default policy — the
+  // draw order AND the event times then match run_stop_and_wait exactly.
+  const double backoff_s =
+      s.attempt > 0 ? s.config.retry.delay_s(
+                          s.attempt, static_cast<std::uint64_t>(s.frame))
+                    : 0.0;
   if (s.attempt > 0) {
     if (s.requery_budget <= 0) {
       finish_frame(self, /*delivered=*/false, /*exhausted=*/true);
@@ -98,7 +123,7 @@ void step(const std::shared_ptr<TransferState>& self) {
         ++s.late_replies;
         const bool delivered = s.coin(*s.rng) < s.frame_success_probability;
         s.queue->schedule_in(
-            s.timing.query_time_s +
+            backoff_s + s.timing.query_time_s +
                 s.timing.late_reply_fraction * s.timing.query_timeout_s +
                 s.timing.frame_time_s,
             [self, delivered] {
@@ -124,7 +149,8 @@ void step(const std::shared_ptr<TransferState>& self) {
   ++s.stats.transmissions;
   const bool delivered = s.coin(*s.rng) < s.frame_success_probability;
   s.queue->schedule_in(
-      s.timing.query_time_s + s.timing.frame_time_s, [self, delivered] {
+      backoff_s + s.timing.query_time_s + s.timing.frame_time_s,
+      [self, delivered] {
         if (delivered) {
           finish_frame(self, /*delivered=*/true, /*exhausted=*/false);
         } else {

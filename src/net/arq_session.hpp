@@ -49,6 +49,8 @@ struct ArqSessionResult {
   ///   (transmissions - late_replies) * (query + frame)
   ///   + query_failures * (query + timeout)
   ///   + late_replies * (query + late_reply_fraction * timeout + frame).
+  /// A backing-off retry policy (config.retry.base_s > 0) adds its delay
+  /// ladder before each retransmission on top of the three terms.
   double elapsed_s = 0.0;
 
   /// Delivered payload per unit wall time.

@@ -15,6 +15,12 @@ obs::Counter& pool_exhausted_metric() {
   return counter;
 }
 
+obs::Histogram& pool_peak_occupancy_metric() {
+  static obs::Histogram& hist =
+      obs::Registry::instance().histogram("net.pool.peak_occupancy_pct");
+  return hist;
+}
+
 }  // namespace
 
 Packet::Packet(Packet&& other) noexcept
@@ -87,6 +93,15 @@ PacketPool::PacketPool(std::size_t packets, std::size_t payload_capacity,
   // LIFO order with slot 0 on top: the first alloc takes slot 0.
   for (std::size_t i = slots_; i-- > 0;) {
     free_.push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+PacketPool::~PacketPool() {
+  // One high-watermark sample per pool lifetime: enough to read fleet-wide
+  // buffer pressure off a bench JSON without plumbing pool pointers out.
+  if (stats_.allocs > 0) {
+    pool_peak_occupancy_metric().record(
+        static_cast<std::uint64_t>(peak_occupancy() * 100.0));
   }
 }
 

@@ -6,7 +6,21 @@
 #include <memory>
 #include <utility>
 
+#include "src/obs/metrics.hpp"
+
 namespace mmtag::net {
+
+namespace {
+
+/// Packets dropped with their retry budget spent — distinct from
+/// in-flight loss, which stays in the window and retries.
+obs::Counter& arq_exhausted_sr_metric() {
+  static obs::Counter& counter =
+      obs::Registry::instance().counter("net.arq.exhausted.sr");
+  return counter;
+}
+
+}  // namespace
 
 double SrArqResult::goodput_bps(std::size_t payload_bits) const {
   if (elapsed_s <= 0.0) return 0.0;
@@ -54,6 +68,7 @@ struct SrState {
   std::vector<int> attempts;
   std::vector<double> receive_time_s;   ///< Receiver-side delivery instant.
   std::vector<Packet> in_flight;        ///< Pool slot per sequence.
+  int ack_loss_streak = 0;  ///< Consecutive lost block-ACKs (backoff key).
   std::uniform_real_distribution<double> coin{0.0, 1.0};
 
   [[nodiscard]] bool sender_closed(int seq) const {
@@ -88,9 +103,11 @@ void reap_window(SrState& s) {
   for (int seq = s.base; seq < window_end; ++seq) {
     const auto u = static_cast<std::size_t>(seq);
     if (s.acked[u] == 0 && s.dropped[u] == 0 &&
-        s.attempts[u] >= s.config.max_attempts_per_packet) {
+        s.config.retry.exhausted(s.attempts[u],
+                                 s.config.max_attempts_per_packet)) {
       s.dropped[u] = 1;
       ++s.result.packets_dropped;
+      arq_exhausted_sr_metric().add(1);
       s.in_flight[u].release();  // Slot back to the pool.
     }
   }
@@ -183,12 +200,17 @@ void round_step(const std::shared_ptr<SrState>& self) {
     if (st.coin(*st.rng) < st.config.ack_loss_probability) {
       // Lost block-ACK: the sender waits out its timer and replays the
       // whole outstanding window next round. No adapter feedback either —
-      // the sender learned nothing about delivery this round.
+      // the sender learned nothing about delivery this round. A backing-
+      // off policy stretches the wait with the consecutive-loss streak
+      // (zero for the default policy — event times unchanged).
       ++st.result.acks_lost;
-      st.queue->schedule_in(st.timing.ack_timeout_s,
+      const double backoff_s = st.config.retry.delay_s(
+          ++st.ack_loss_streak, static_cast<std::uint64_t>(round_base));
+      st.queue->schedule_in(st.timing.ack_timeout_s + backoff_s,
                             [self] { round_step(self); });
       return;
     }
+    st.ack_loss_streak = 0;
     ++st.result.acks_received;
     // Block-ACK keyed to the burst's base: cumulative semantics fall out
     // of base advancing past closed sequences; the bitmap reports every

@@ -30,6 +30,7 @@
 
 #include "src/mac/event_queue.hpp"
 #include "src/net/packet.hpp"
+#include "src/resil/retry.hpp"
 
 namespace mmtag::net {
 
@@ -47,6 +48,12 @@ struct SrArqConfig {
   double ack_loss_probability = 0.01;
   /// Application payload bytes per packet (pool-backed sessions).
   std::size_t payload_bytes = 32;
+  /// Shared retry policy (DESIGN.md Sec. 15). The per-packet budget routes
+  /// through `retry.exhausted(attempts, max_attempts_per_packet)` — the
+  /// default policy inherits max_attempts_per_packet unchanged. With
+  /// `retry.base_s > 0` the sender also backs off after consecutive lost
+  /// block-ACKs (adds to the timer wait; never an extra RNG draw).
+  resil::RetryPolicy retry{};
 };
 
 struct SrArqTiming {
@@ -71,6 +78,8 @@ struct SrArqResult {
   /// Wall-clock consumed. Exact by construction:
   ///   transmissions * packet_time + acks_received * ack_time
   ///   + (acks_lost + pool_waits) * ack_timeout.
+  /// A backing-off retry policy (config.retry.base_s > 0) adds its delay
+  /// ladder after consecutive lost ACKs on top of the three terms.
   double elapsed_s = 0.0;
   /// Receive instant of every delivered packet relative to session start,
   /// ascending sequence order.

@@ -1,0 +1,75 @@
+#include "src/resil/admission.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/obs/metrics.hpp"
+
+namespace mmtag::resil {
+
+namespace {
+
+obs::Counter& shed_flows_metric() {
+  static obs::Counter& counter =
+      obs::Registry::instance().counter("resil.shed.flows");
+  return counter;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {
+  assert(config_.priority_classes >= 1);
+  assert(config_.low_watermark <= config_.high_watermark);
+  assert(config_.high_watermark <= 1.0 && config_.low_watermark >= 0.0);
+}
+
+AdmissionPlan AdmissionController::plan_shedding(
+    std::size_t flows, std::size_t per_flow_packets) const {
+  AdmissionPlan plan;
+  plan.admitted.assign(flows, 1);
+  plan.admitted_flows = flows;
+  plan.projected_packets = flows * per_flow_packets;
+  if (!config_.enabled || config_.pool_budget_packets == 0 ||
+      per_flow_packets == 0 || flows == 0) {
+    return plan;
+  }
+  const double budget = static_cast<double>(config_.pool_budget_packets);
+  const auto occupancy = [&](std::size_t admitted) {
+    return static_cast<double>(admitted * per_flow_packets) / budget;
+  };
+  if (occupancy(flows) <= config_.high_watermark) return plan;
+
+  // Over the high watermark: shed down to the low one. The admitted
+  // count is the largest that fits under `low`; victims are chosen
+  // lowest priority class first (highest class index), highest flow
+  // index first within a class — a total order, so the plan is a pure
+  // function of (flows, per_flow_packets, config).
+  const auto target = static_cast<std::size_t>(
+      config_.low_watermark * budget / static_cast<double>(per_flow_packets));
+  const std::size_t keep = std::min(flows, std::max<std::size_t>(target, 1));
+  std::size_t to_shed = flows - keep;
+  const auto classes = static_cast<std::size_t>(config_.priority_classes);
+  for (std::size_t cls = classes; cls-- > 0 && to_shed > 0;) {
+    for (std::size_t f = flows; f-- > 0 && to_shed > 0;) {
+      if (f % classes != cls) continue;
+      plan.admitted[f] = 0;
+      --to_shed;
+    }
+  }
+  plan.admitted_flows = 0;
+  for (const std::uint8_t a : plan.admitted) plan.admitted_flows += a;
+  plan.shed_flows = flows - plan.admitted_flows;
+  plan.projected_packets = plan.admitted_flows * per_flow_packets;
+  shed_flows_metric().add(plan.shed_flows);
+  return plan;
+}
+
+bool AdmissionController::under_pressure(std::size_t in_use,
+                                         std::size_t capacity) const {
+  if (!config_.enabled || capacity == 0) return false;
+  return static_cast<double>(in_use) >
+         config_.high_watermark * static_cast<double>(capacity);
+}
+
+}  // namespace mmtag::resil

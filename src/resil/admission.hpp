@@ -1,0 +1,77 @@
+// Admission control and load shedding on packet-pool occupancy.
+//
+// A traffic engine that admits every offered flow while its buffer pools
+// are dry does not degrade — it collapses: every flow stalls, goodput
+// craters uniformly, and the high-value traffic drowns with the rest.
+// Graceful degradation sheds load *before* the pools saturate, lowest
+// priority first, and keeps shedding decisions out of the parallel
+// fan-out so they are a deterministic function of the offered load.
+//
+// The controller speaks in pool occupancy watermarks. plan_shedding()
+// runs on the coordinating thread before flows fan out: given each
+// flow's priority class and peak buffer demand against a total buffer
+// budget, it admits classes from highest priority down until the next
+// class would push projected occupancy past the high watermark, then
+// sheds the remainder (within the boundary class, highest flow index
+// first — a fixed order). Shed flows are surfaced as resil.shed.* obs
+// counters and per-flow flags, never silently dropped. The watermark
+// pair gives hysteresis: shedding starts above `high`, and the planner
+// sheds down to `low` so the system re-admits with a margin instead of
+// oscillating at the cliff.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mmtag::resil {
+
+struct AdmissionConfig {
+  /// Master switch; false keeps the engine's legacy admit-all path,
+  /// bit for bit.
+  bool enabled = false;
+  /// Total buffer budget [packets] the node pledges across concurrent
+  /// flows. 0 disables occupancy projection (nothing sheds).
+  std::size_t pool_budget_packets = 0;
+  /// Projected occupancy above which shedding starts.
+  double high_watermark = 0.85;
+  /// Shedding target: admit only until projected occupancy <= low.
+  double low_watermark = 0.70;
+  /// Priority classes; flow f belongs to class (f % priority_classes),
+  /// class 0 highest.
+  int priority_classes = 4;
+};
+
+/// One shedding plan: which flows run, which are shed.
+struct AdmissionPlan {
+  std::vector<std::uint8_t> admitted;  ///< Per flow, 1 = runs.
+  std::size_t shed_flows = 0;
+  std::size_t admitted_flows = 0;
+  /// Projected buffer demand of the admitted set [packets].
+  std::size_t projected_packets = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+
+  /// Decide admission for `flows` flows, each needing `per_flow_packets`
+  /// buffer slots at peak. Deterministic in its arguments; coordinating
+  /// thread only.
+  [[nodiscard]] AdmissionPlan plan_shedding(std::size_t flows,
+                                            std::size_t per_flow_packets) const;
+
+  /// Online pressure check for callers holding a live pool: true when
+  /// current occupancy (in_use / capacity) is still below the high
+  /// watermark. Reads pressure only — never acquires a slot, never
+  /// counts an exhaustion (the PacketPool::try_acquire contract).
+  [[nodiscard]] bool under_pressure(std::size_t in_use,
+                                    std::size_t capacity) const;
+
+  [[nodiscard]] const AdmissionConfig& config() const { return config_; }
+
+ private:
+  AdmissionConfig config_;
+};
+
+}  // namespace mmtag::resil

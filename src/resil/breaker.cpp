@@ -1,0 +1,125 @@
+#include "src/resil/breaker.hpp"
+
+#include <cassert>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/stats.hpp"
+
+namespace mmtag::resil {
+
+namespace {
+
+obs::Counter& opened_metric() {
+  static obs::Counter& counter =
+      obs::Registry::instance().counter("resil.breaker.opened");
+  return counter;
+}
+obs::Counter& reclosed_metric() {
+  static obs::Counter& counter =
+      obs::Registry::instance().counter("resil.breaker.reclosed");
+  return counter;
+}
+
+}  // namespace
+
+void CircuitBreaker::record_failure() {
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++failures_ >= config_.failure_threshold) {
+        state_ = BreakerState::kOpen;
+        open_remaining_ = config_.open_epochs;
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      // The probe failed: a fresh sentence.
+      ++failures_;
+      state_ = BreakerState::kOpen;
+      open_remaining_ = config_.open_epochs;
+      break;
+    case BreakerState::kOpen:
+      // Traffic already in flight when the breaker opened; nothing new.
+      break;
+  }
+}
+
+void CircuitBreaker::record_success() {
+  switch (state_) {
+    case BreakerState::kClosed:
+      failures_ = 0;
+      break;
+    case BreakerState::kHalfOpen:
+      state_ = BreakerState::kClosed;
+      failures_ = 0;
+      break;
+    case BreakerState::kOpen:
+      break;
+  }
+}
+
+void CircuitBreaker::tick_epoch() {
+  if (state_ == BreakerState::kOpen && --open_remaining_ <= 0) {
+    state_ = BreakerState::kHalfOpen;
+  }
+}
+
+BreakerBank::BreakerBank(std::size_t links, BreakerConfig config)
+    : config_(config) {
+  assert(config_.failure_threshold >= 1);
+  assert(config_.open_epochs >= 1);
+  breakers_.assign(links, CircuitBreaker(config_));
+}
+
+void BreakerBank::record_failure(std::size_t link) {
+  CircuitBreaker& b = breakers_[link];
+  const BreakerState before = b.state();
+  b.record_failure();
+  if (before != BreakerState::kOpen && b.state() == BreakerState::kOpen) {
+    ++stats_.opened;
+    opened_metric().add(1);
+  }
+}
+
+void BreakerBank::record_success(std::size_t link) {
+  CircuitBreaker& b = breakers_[link];
+  const BreakerState before = b.state();
+  b.record_success();
+  if (before == BreakerState::kHalfOpen &&
+      b.state() == BreakerState::kClosed) {
+    ++stats_.reclosed;
+    reclosed_metric().add(1);
+  }
+}
+
+void BreakerBank::tick_epoch() {
+  for (CircuitBreaker& b : breakers_) {
+    const BreakerState before = b.state();
+    b.tick_epoch();
+    if (before == BreakerState::kOpen &&
+        b.state() == BreakerState::kHalfOpen) {
+      ++stats_.half_opened;
+    }
+  }
+}
+
+std::size_t BreakerBank::open_count() const {
+  std::size_t open = 0;
+  for (const CircuitBreaker& b : breakers_) {
+    if (b.state() == BreakerState::kOpen) ++open;
+  }
+  return open;
+}
+
+std::uint64_t BreakerBank::fingerprint() const {
+  obs::Fnv1a h;
+  h.mix_u64(static_cast<std::uint64_t>(breakers_.size()));
+  for (const CircuitBreaker& b : breakers_) {
+    h.mix_u64(static_cast<std::uint64_t>(b.state()));
+    h.mix_u64(static_cast<std::uint64_t>(b.consecutive_failures()));
+  }
+  h.mix_u64(stats_.opened);
+  h.mix_u64(stats_.reclosed);
+  h.mix_u64(stats_.half_opened);
+  return h.digest();
+}
+
+}  // namespace mmtag::resil

@@ -1,0 +1,107 @@
+// Per-link circuit breakers: stop hammering a path that keeps failing.
+//
+// The classic three-state machine, epoch-stepped and fully deterministic:
+//
+//           failure x threshold              timer expires
+//   Closed ------------------------> Open ----------------> HalfOpen
+//     ^                               ^                        |
+//     |            success            |        failure         |
+//     +-------------------------------+------------------------+
+//
+// Closed counts consecutive failures and opens at the threshold. Open
+// refuses traffic (`allow() == false`) for `open_epochs` epoch ticks.
+// HalfOpen admits a bounded number of probes: one success closes the
+// breaker, one failure re-opens it for a fresh sentence.
+//
+// The mesh wires a BreakerBank over its directed links: forwarding
+// records a failure when a hop lands on (or is aimed at) a dead reader
+// and a success when a frame crosses the link alive; route selection
+// skips open links, and table rebuilds scale an open link's believed
+// cost so reconverged paths steer around it (forwarding.cpp). Everything
+// runs on the coordinating thread — state transitions are a pure
+// function of the observed event sequence, so a given incident always
+// produces bit-identical breaker trajectories (DESIGN.md Sec. 15).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mmtag::resil {
+
+struct BreakerConfig {
+  /// Consecutive failures that open a Closed breaker.
+  int failure_threshold = 3;
+  /// Epoch ticks an Open breaker refuses traffic before half-opening.
+  int open_epochs = 1;
+  /// Probes a HalfOpen breaker admits before re-opening on silence is
+  /// implicitly 1 per epoch: the first recorded outcome decides.
+  /// Believed-cost multiplier applied to a not-allowed link at route
+  /// rebuild time (feedback into the routing metric).
+  double open_cost_penalty = 8.0;
+};
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+class CircuitBreaker {
+ public:
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(BreakerConfig config) : config_(config) {}
+
+  void record_failure();
+  void record_success();
+  /// Advance the Open timer one epoch.
+  void tick_epoch();
+
+  [[nodiscard]] BreakerState state() const { return state_; }
+  /// May traffic use this link right now? HalfOpen allows (that is the
+  /// probe); Open refuses.
+  [[nodiscard]] bool allow() const { return state_ != BreakerState::kOpen; }
+  [[nodiscard]] int consecutive_failures() const { return failures_; }
+
+ private:
+  BreakerConfig config_;
+  BreakerState state_ = BreakerState::kClosed;
+  int failures_ = 0;
+  int open_remaining_ = 0;
+};
+
+/// Aggregate trip counts, for stats blocks and fingerprints.
+struct BreakerBankStats {
+  std::uint64_t opened = 0;     ///< Closed/HalfOpen -> Open transitions.
+  std::uint64_t reclosed = 0;   ///< HalfOpen -> Closed recoveries.
+  std::uint64_t half_opened = 0;
+};
+
+/// One breaker per directed link, shared config, fixed population.
+class BreakerBank {
+ public:
+  BreakerBank() = default;
+  BreakerBank(std::size_t links, BreakerConfig config);
+
+  void record_failure(std::size_t link);
+  void record_success(std::size_t link);
+  /// Tick every breaker (fixed index order) at an epoch boundary.
+  void tick_epoch();
+
+  [[nodiscard]] bool allow(std::size_t link) const {
+    return breakers_[link].allow();
+  }
+  [[nodiscard]] BreakerState state(std::size_t link) const {
+    return breakers_[link].state();
+  }
+  [[nodiscard]] std::size_t links() const { return breakers_.size(); }
+  [[nodiscard]] std::size_t open_count() const;
+  [[nodiscard]] const BreakerBankStats& stats() const { return stats_; }
+  [[nodiscard]] const BreakerConfig& config() const { return config_; }
+
+  /// FNV-1a digest over every breaker's (state, failures) in link order.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+ private:
+  BreakerConfig config_;
+  std::vector<CircuitBreaker> breakers_;
+  BreakerBankStats stats_;
+};
+
+}  // namespace mmtag::resil

@@ -1,0 +1,30 @@
+#include "src/resil/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/rng.hpp"
+
+namespace mmtag::resil {
+
+double RetryPolicy::delay_s(int attempt, std::uint64_t key) const {
+  if (base_s <= 0.0 || attempt <= 0) return 0.0;
+  // Exponential ladder in closed form; ldexp keeps it exact for the
+  // attempt counts a budget can reach.
+  double delay = std::ldexp(base_s, attempt - 1);
+  if (cap_s > 0.0) delay = std::min(delay, cap_s);
+  if (jitter > 0.0) {
+    // Decorrelated jitter without touching any engine: hash the
+    // (seed, key, attempt) triple into a uniform in [0, 1). Two retries
+    // of different destinations — or different attempts of one — land at
+    // uncorrelated points of the [1 - jitter, 1) band, which is what
+    // breaks retry synchronization across a fleet.
+    const std::uint64_t bits = sim::derive_seed(
+        sim::derive_seed(jitter_seed, key), static_cast<std::uint64_t>(attempt));
+    const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
+    delay *= 1.0 - jitter * u;
+  }
+  return delay;
+}
+
+}  // namespace mmtag::resil

@@ -1,0 +1,103 @@
+// Shared retry policy: capped exponential backoff with decorrelated
+// jitter, plus per-destination retry budgets.
+//
+// Every retry loop in the stack — SR-ARQ packet budgets, stop-and-wait
+// frame budgets, the polling scheduler's timeout ladder, the reader
+// cell's fault-path backoff — used to carry its own fixed constants.
+// RetryPolicy centralizes them behind one deterministic contract:
+//
+//   * The budget check is a pure predicate (`exhausted(attempts)`), so a
+//     caller's control flow is identical whether the budget came from a
+//     legacy config field or an adaptive controller.
+//   * Backoff delays are a pure function of (attempt, key): the delay
+//     ladder is base * 2^(attempt-1) clamped to `cap_s`, and jitter is
+//     realized by *hashing* derive_seed streams, never by drawing from
+//     the caller's engine. A policy therefore never perturbs the RNG
+//     draw order of the session it throttles — configured to the legacy
+//     fixed schedule (zero base, or the uncapped doubling a ReaderCell
+//     already used), every frozen fingerprint in the tree is preserved
+//     bit for bit (DESIGN.md Sec. 15).
+//
+// RetryLedger adds the per-destination dimension: one consecutive-failure
+// counter per destination (tag, reader, link), charged and reset by the
+// caller, with the budget question delegated to the policy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mmtag::resil {
+
+struct RetryPolicy {
+  /// Attempts allowed before `exhausted` trips. <= 0 means "inherit": the
+  /// wiring site substitutes its legacy config budget, so a default
+  /// policy is behavior-identical to the pre-resil code.
+  int budget = 0;
+  /// First backoff delay [s]; doubles per further attempt. 0 disables
+  /// backoff entirely (the legacy fixed schedule).
+  double base_s = 0.0;
+  /// Ceiling on one backoff delay [s]. <= 0 means uncapped (the legacy
+  /// ReaderCell ladder).
+  double cap_s = 0.0;
+  /// Jitter fraction in [0, 1): each delay is scaled by a deterministic
+  /// factor in [1 - jitter, 1), decorrelated across (key, attempt) pairs
+  /// via derive_seed hashing. 0 disables jitter (and its hash).
+  double jitter = 0.0;
+  /// Stream root for the jitter hash; give each subsystem its own.
+  std::uint64_t jitter_seed = 0;
+
+  /// True once `attempts` attempts have been spent. `fallback_budget` is
+  /// the legacy config value used when this policy inherits (budget <= 0).
+  [[nodiscard]] bool exhausted(int attempts, int fallback_budget) const {
+    const int limit = budget > 0 ? budget : fallback_budget;
+    return attempts >= limit;
+  }
+
+  /// The effective budget after inheritance.
+  [[nodiscard]] int effective_budget(int fallback_budget) const {
+    return budget > 0 ? budget : fallback_budget;
+  }
+
+  /// Backoff delay before retry number `attempt` (1-based: attempt 1 is
+  /// the first retry) of destination/item `key`. Pure function — no
+  /// engine draws — so legacy-configured policies (base_s == 0) return
+  /// exactly 0.0 and perturb nothing.
+  [[nodiscard]] double delay_s(int attempt, std::uint64_t key) const;
+
+  /// True when the policy would ever delay a retry.
+  [[nodiscard]] bool backs_off() const { return base_s > 0.0; }
+};
+
+/// Consecutive-failure bookkeeping per destination. The ledger owns the
+/// counters; the policy owns the budget/backoff math. Fixed population,
+/// no allocation after construction, single-threaded (coordinating
+/// thread or one cell's event loop).
+class RetryLedger {
+ public:
+  RetryLedger() = default;
+  explicit RetryLedger(std::size_t destinations)
+      : failures_(destinations, 0) {}
+
+  void reset(std::size_t destination) {
+    failures_[destination] = 0;
+  }
+  /// Charge one failed attempt; returns the consecutive-failure count
+  /// including this one.
+  int charge(std::size_t destination) { return ++failures_[destination]; }
+  [[nodiscard]] int failures(std::size_t destination) const {
+    return failures_[destination];
+  }
+  /// Delegate the budget question to `policy`.
+  [[nodiscard]] bool exhausted(std::size_t destination,
+                               const RetryPolicy& policy,
+                               int fallback_budget) const {
+    return policy.exhausted(failures_[destination], fallback_budget);
+  }
+  [[nodiscard]] std::size_t destinations() const { return failures_.size(); }
+
+ private:
+  std::vector<int> failures_;
+};
+
+}  // namespace mmtag::resil

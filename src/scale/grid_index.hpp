@@ -24,6 +24,7 @@
 // actually changed (the common case at realistic speeds is a no-op).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -34,7 +35,10 @@ namespace mmtag::scale {
 class GridIndex {
  public:
   /// Work performed by queries, for the O(tags)-vs-indexed margin the
-  /// metro bench enforces. Counters accumulate across queries.
+  /// metro bench enforces. Counters accumulate across queries; queries
+  /// run concurrently from epoch shards, so the live tallies are relaxed
+  /// atomics (sums of per-query deltas commute — totals are exact and
+  /// thread-count invariant) and cost() returns a plain snapshot.
   struct QueryCost {
     std::uint64_t queries = 0;
     std::uint64_t cells_visited = 0;
@@ -70,8 +74,16 @@ class GridIndex {
   void gather_rect(double x0, double y0, double x1, double y1,
                    std::vector<TagSlot>& out) const;
 
-  [[nodiscard]] const QueryCost& cost() const { return cost_; }
-  void reset_cost() { cost_ = QueryCost{}; }
+  [[nodiscard]] QueryCost cost() const {
+    return {queries_.load(std::memory_order_relaxed),
+            cells_visited_.load(std::memory_order_relaxed),
+            candidates_.load(std::memory_order_relaxed)};
+  }
+  void reset_cost() {
+    queries_.store(0, std::memory_order_relaxed);
+    cells_visited_.store(0, std::memory_order_relaxed);
+    candidates_.store(0, std::memory_order_relaxed);
+  }
 
   [[nodiscard]] int cols() const { return cols_; }
   [[nodiscard]] int rows() const { return rows_; }
@@ -90,7 +102,9 @@ class GridIndex {
   int rows_;
   std::vector<std::vector<TagSlot>> cells_;
   std::size_t occupancy_ = 0;
-  mutable QueryCost cost_;
+  mutable std::atomic<std::uint64_t> queries_{0};
+  mutable std::atomic<std::uint64_t> cells_visited_{0};
+  mutable std::atomic<std::uint64_t> candidates_{0};
 };
 
 }  // namespace mmtag::scale

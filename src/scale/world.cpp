@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "src/obs/stats.hpp"
@@ -44,6 +45,7 @@ struct MetroWorld::ReaderResult {
   std::uint64_t successes = 0;
   std::uint64_t new_reads = 0;
   std::uint64_t interference_pairs = 0;
+  std::uint64_t adopted = 0;  ///< Detected tags whose owner was re-homed.
   double delivered_bits = 0.0;
 };
 
@@ -72,6 +74,9 @@ MetroWorld::MetroWorld(const MetroConfig& config)
     const TagSlot slot = store_.create(static_cast<std::uint32_t>(t), x, y,
                                        orient, config.initial_energy_j);
     index_.insert(slot, x, y);
+  }
+  if (config.control_plane) {
+    monitor_.emplace(static_cast<std::size_t>(readers()), config.health);
   }
 }
 
@@ -108,12 +113,76 @@ MetroEpochStats MetroWorld::run_epoch(sim::ThreadPool& pool) {
   const double base_rate =
       model_.tier_rate_bps.empty() ? 1.0 : model_.tier_rate_bps.back();
 
+  MetroEpochStats epoch;
+
+  // --- Resilience control plane (DESIGN.md Sec. 15). Every decision the
+  // epoch depends on is drawn HERE, on the coordinating thread, before
+  // the fan-out: the scripted outage mask, the serve mask from the
+  // monitor state of the PREVIOUS epoch, and the ownership remap that
+  // re-homes a skipped reader's tags to its nearest serving neighbor
+  // (grid distance, ties to the lower id). Workers only read the
+  // resulting vectors, so suspicion and adoption are bit-identical at
+  // any thread count. With no domains and no monitor all of this stays
+  // empty and the shard below runs the legacy path untouched.
+  std::vector<std::uint8_t> serving;  // Shard r runs this epoch.
+  std::vector<int> adopter;           // Owner remap; identity when empty.
+  if (config_.domains.active() || monitor_) {
+    std::vector<std::uint8_t> up;
+    if (config_.domains.active()) {
+      config_.domains.apply(epochs_run_, config_.readers_x, config_.readers_y,
+                            &up);
+    }
+    serving.assign(static_cast<std::size_t>(n_readers), 1);
+    bool any_skip = false;
+    for (int r = 0; r < n_readers; ++r) {
+      const std::size_t ri = static_cast<std::size_t>(r);
+      const bool is_up = up.empty() || up[ri] != 0;
+      if (!is_up) ++epoch.readers_down;
+      bool serve = true;
+      if (monitor_) {
+        if (monitor_->suspected(ri)) ++epoch.readers_suspected;
+        serve = monitor_->should_serve(ri);
+        if (!serve) any_skip = true;
+      }
+      serving[ri] = (is_up && serve) ? 1 : 0;
+    }
+    if (any_skip) {
+      adopter.resize(static_cast<std::size_t>(n_readers));
+      for (int o = 0; o < n_readers; ++o) {
+        if (monitor_->should_serve(static_cast<std::size_t>(o))) {
+          adopter[static_cast<std::size_t>(o)] = o;
+          continue;
+        }
+        const int ox = o % config_.readers_x;
+        const int oy = o / config_.readers_x;
+        int best = o;  // Nobody serving: keep self (tags go unserved).
+        int best_d2 = std::numeric_limits<int>::max();
+        for (int a = 0; a < n_readers; ++a) {
+          if (!monitor_->should_serve(static_cast<std::size_t>(a))) continue;
+          const int dx = a % config_.readers_x - ox;
+          const int dy = a / config_.readers_x - oy;
+          const int d2 = dx * dx + dy * dy;
+          if (d2 < best_d2) {
+            best_d2 = d2;
+            best = a;
+          }
+        }
+        adopter[static_cast<std::size_t>(o)] = best;
+      }
+    }
+  }
+  const std::uint8_t* shard_up = serving.empty() ? nullptr : serving.data();
+  const int* remap = adopter.empty() ? nullptr : adopter.data();
+
   // --- Service phase: shard by reader. Ownership partitioning makes
   // every store write disjoint (a tag is owned by exactly one reader);
   // results merge serially in reader order below.
   std::vector<ReaderResult> results(static_cast<std::size_t>(n_readers));
   std::uint64_t linear_before = linear_candidates_;
   pool.parallel_for(static_cast<std::size_t>(n_readers), [&](std::size_t ri) {
+    // Down (scripted outage) or skipped (suspected, non-probe epoch):
+    // the shard produces nothing — which the monitor reads as silence.
+    if (shard_up && shard_up[ri] == 0) return;
     const int r = static_cast<int>(ri);
     const double rx = reader_x(r);
     const double ry = reader_y(r);
@@ -156,13 +225,18 @@ MetroEpochStats MetroWorld::run_epoch(sim::ThreadPool& pool) {
     for (std::size_t i = 0; i < batch.count; ++i) {
       const TagSlot slot = cands[i];
       const int owner = owner_of(xs[slot], ys[slot]);
-      if (owner != r) {
+      // The tag belongs to whoever the control plane re-homed its owner
+      // to (identity when no reader is skipped) — the remap is a pure
+      // owner -> reader function, so store writes stay disjoint.
+      const int effective = remap ? remap[owner] : owner;
+      if (effective != r) {
         // Foreign tag close enough to contend for the medium.
         if (batch.d2[i] < intf_r2) ++out.interference_pairs;
         continue;
       }
       if (!batch.detected[i]) continue;
       ++out.detected;
+      if (owner != r) ++out.adopted;
       // In the beam: harvest first, then maybe answer a poll.
       energy[slot] = std::min(config_.energy_cap_j,
                               energy[slot] + config_.harvest_j_per_epoch);
@@ -186,7 +260,6 @@ MetroEpochStats MetroWorld::run_epoch(sim::ThreadPool& pool) {
     }
   });
 
-  MetroEpochStats epoch;
   for (const ReaderResult& r : results) {
     epoch.candidates += r.candidates;
     epoch.detected += r.detected;
@@ -194,10 +267,24 @@ MetroEpochStats MetroWorld::run_epoch(sim::ThreadPool& pool) {
     epoch.successes += r.successes;
     epoch.new_reads += r.new_reads;
     epoch.interference_pairs += r.interference_pairs;
+    epoch.tags_adopted += r.adopted;
     epoch.delivered_bits += r.delivered_bits;
   }
   if (!config_.use_index) {
     linear_candidates_ = linear_before + epoch.candidates;
+  }
+
+  // Feed the monitor what a metro coordinator actually observes: each
+  // reader's per-epoch report. A reader whose shard did not run reports
+  // nothing — zero attempts — which HealthConfig::silence_is_miss turns
+  // into the miss evidence suspicion accrues on. Serial, post-merge, on
+  // the coordinating thread; end_epoch() draws the next epoch's serve
+  // decisions in fixed reader order.
+  if (monitor_) {
+    for (std::size_t r = 0; r < results.size(); ++r) {
+      monitor_->record(r, results[r].polls, results[r].successes);
+    }
+    monitor_->end_epoch();
   }
 
   // --- Mobility phase: fixed-size chunks (thread-count independent),

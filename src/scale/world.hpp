@@ -26,9 +26,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "src/phys/link_budget.hpp"
+#include "src/resil/domain.hpp"
+#include "src/resil/health.hpp"
 #include "src/scale/epoch_batch.hpp"
 #include "src/scale/grid_index.hpp"
 #include "src/scale/tag_store.hpp"
@@ -65,6 +68,21 @@ struct MetroConfig {
   double move_fraction = 0.05;     ///< Tags taking a step each epoch.
   double speed_mps = 1.5;
 
+  // --- Resilience (DESIGN.md Sec. 15) -----------------------------------
+  /// Scripted grid-correlated incidents: readers inside an active domain
+  /// rectangle are physically down for the epoch — no polls, no harvest
+  /// carrier, and (with the control plane off) their tags go unserved.
+  resil::DomainSchedule domains{};
+  /// Attach the resilience control plane: a HealthMonitor infers each
+  /// reader's health from the only evidence a coordinator has — the
+  /// per-epoch (polls, successes) report, where a down reader is silence.
+  /// Suspected readers are skipped outside their probe epochs and their
+  /// tags are re-homed to the nearest serving reader (which can actually
+  /// reach them only if the grid spacing is inside detect range). Off
+  /// (default) the epoch path is bit-for-bit the legacy world.
+  bool control_plane = false;
+  resil::HealthConfig health{};
+
   std::uint64_t seed = 1234;
 };
 
@@ -82,6 +100,12 @@ struct MetroEpochStats {
   std::uint64_t rebuckets = 0;     ///< Index cell changes from mobility.
   std::uint64_t handoffs = 0;      ///< Owner changes from mobility.
   double delivered_bits = 0.0;
+  // Control-plane observables (DESIGN.md Sec. 15). Like candidates and
+  // rebuckets these describe how service was arranged, not the physics,
+  // and are deliberately excluded from MetroStats::fingerprint.
+  std::uint64_t readers_down = 0;      ///< Scripted-domain outages.
+  std::uint64_t readers_suspected = 0; ///< Suspected entering the epoch.
+  std::uint64_t tags_adopted = 0;      ///< Detected via a re-homed owner.
 };
 
 /// Cumulative run aggregate.
@@ -132,6 +156,12 @@ class MetroWorld {
     return linear_candidates_;
   }
 
+  /// Attached control-plane monitor; nullptr when config.control_plane is
+  /// false. Suspicion state is as of the last run_epoch.
+  [[nodiscard]] const resil::HealthMonitor* monitor() const {
+    return monitor_ ? &*monitor_ : nullptr;
+  }
+
   [[nodiscard]] int readers() const { return config_.readers_x * config_.readers_y; }
   [[nodiscard]] double reader_x(int r) const;
   [[nodiscard]] double reader_y(int r) const;
@@ -152,6 +182,9 @@ class MetroWorld {
   std::uint64_t move_base_ = 0;
   std::uint64_t epochs_run_ = 0;
   std::uint64_t linear_candidates_ = 0;
+  /// Engaged iff config_.control_plane; fed post-merge, every decision it
+  /// outputs is consumed pre-fan-out on the coordinating thread.
+  std::optional<resil::HealthMonitor> monitor_;
 
   // Cumulative counters (service columns hold the per-tag truth).
   std::uint64_t detected_total_ = 0;

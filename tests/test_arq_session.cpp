@@ -5,6 +5,7 @@
 
 #include "src/mac/event_queue.hpp"
 #include "src/net/arq.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/net/arq_session.hpp"
 #include "src/net/session.hpp"
 #include "src/phys/constants.hpp"
@@ -341,6 +342,27 @@ TEST_P(SessionMonotoneTest, GoodputMonotone) {
 INSTANTIATE_TEST_SUITE_P(Powers, SessionMonotoneTest,
                          ::testing::Values(-95.0, -88.0, -80.0, -72.0,
                                            -68.0, -60.0));
+
+TEST(ArqSession, ExhaustionIsMirroredToTheSwObsCounter) {
+  // DESIGN.md Sec. 15: stop-and-wait exhaustion gets its own registry
+  // counter ("net.arq.exhausted.sw"), distinct from the SR session's, so
+  // bench JSON can attribute give-ups to the right retry loop.
+  auto& counter =
+      obs::Registry::instance().counter("net.arq.exhausted.sw");
+  const std::uint64_t before = counter.value();
+  ArqConfig config;
+  config.query_loss_probability = 1.0;  // Every re-query dies: exhaustion.
+  auto rng = sim::make_rng(156);
+  ArqSession session(config, ArqTiming{});
+  const ArqSessionResult result = session.run(10, 0.0, rng);
+  EXPECT_EQ(result.stats.frames_failed, 10);
+  EXPECT_EQ(result.stats.requery_exhausted, 10);
+  if constexpr (obs::kObsEnabled) {
+    EXPECT_EQ(counter.value(), before + 10);
+  } else {
+    EXPECT_EQ(counter.value(), before);
+  }
+}
 
 }  // namespace
 }  // namespace mmtag::net

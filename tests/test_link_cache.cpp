@@ -211,6 +211,51 @@ TEST_F(LinkCacheTest, DefaultCapacityCoversFleetWorkingSets) {
   EXPECT_GE(LinkCache::kDefaultTagCapacity, 4000u);
 }
 
+TEST_F(LinkCacheTest, InvalidateReaderComposesWithTheLruBound) {
+  // Fleet-wide identity invalidation (resilience path: a suspected reader
+  // flushes its memoized links) must compose with the PR-8 capacity
+  // bound: a flush is never booked as an LRU eviction, and the cache
+  // refills and evicts correctly afterwards.
+  LinkCache cache(
+      reader::MmWaveReader::prototype_at(core::Pose{{0.0, 1.0}, 0.0}),
+      &env_, &rates_, /*enabled=*/true, /*reader_id=*/3,
+      /*tag_capacity=*/2);
+  const auto tag_at = [](std::uint32_t id) {
+    return core::MmTag::prototype_at(
+        core::Pose{{2.0 + 0.1 * id, 1.0}, 3.14}, id);
+  };
+  (void)cache.link(tag_at(1), 0, 0.0);
+  (void)cache.link(tag_at(2), 0, 0.0);
+  EXPECT_EQ(cache.resident_tags(), 2u);
+  (void)cache.link(tag_at(3), 0, 0.0);  // Overflow: tag 1 is the victim.
+  EXPECT_EQ(cache.resident_tags(), 2u);
+  EXPECT_EQ(cache.stats().lru_evictions, 1u);
+  const std::uint64_t evictions_after_lru = cache.stats().evictions;
+
+  // Wrong identity: a no-op, nothing dropped, nothing counted.
+  EXPECT_EQ(cache.invalidate_reader(2), 0u);
+  EXPECT_EQ(cache.resident_tags(), 2u);
+  EXPECT_EQ(cache.stats().evictions, evictions_after_lru);
+
+  // Matching identity: both resident tags flushed, counted as plain
+  // evictions only — the LRU counter must not move.
+  const std::uint64_t flushed = cache.invalidate_reader(3);
+  EXPECT_GT(flushed, 0u);
+  EXPECT_EQ(cache.resident_tags(), 0u);
+  EXPECT_EQ(cache.stats().evictions, evictions_after_lru + flushed);
+  EXPECT_EQ(cache.stats().lru_evictions, 1u);
+
+  // The flushed cache is healthy: it refills, serves hits, and the
+  // capacity bound still evicts (exactly one more LRU victim).
+  (void)cache.link(tag_at(4), 0, 0.0);
+  (void)cache.link(tag_at(5), 0, 0.0);
+  (void)cache.link(tag_at(5), 0, 0.0);
+  EXPECT_GE(cache.stats().hits, 1u);
+  (void)cache.link(tag_at(6), 0, 0.0);
+  EXPECT_EQ(cache.resident_tags(), 2u);
+  EXPECT_EQ(cache.stats().lru_evictions, 2u);
+}
+
 TEST_F(LinkCacheTest, DisabledCacheRetracesEveryLookup) {
   LinkCache cache = make_cache(/*enabled=*/false);
   const double a = cache.link(tag_, 0, 0.0).received_power_dbm;

@@ -211,5 +211,98 @@ TEST(MetroWorld, StatsFingerprintTracksState) {
   EXPECT_NE(a.state_fingerprint(), c.state_fingerprint());
 }
 
+MetroConfig dense_config() {
+  // 2 x 2 readers, 1 m apart: every tag sits inside a neighbor's top
+  // rate tier, so a re-homed owner can actually serve it.
+  MetroConfig cfg;
+  cfg.width_m = 2.0;
+  cfg.height_m = 2.0;
+  cfg.readers_x = 2;
+  cfg.readers_y = 2;
+  cfg.tags = 300;
+  cfg.index_cell_m = 0.5;
+  cfg.seed = 91;
+  return cfg;
+}
+
+TEST(MetroWorld, DormantControlPlaneIsLegacyBitForBit) {
+  // A schedule whose epochs never arrive exercises the mask path without
+  // downing anything; with the control plane off it must be
+  // indistinguishable from the legacy world, byte for byte.
+  MetroConfig legacy = small_config();
+  MetroConfig dormant = small_config();
+  dormant.domains.domains.push_back(
+      resil::OutageDomain{0, 0, 0, 0, /*start=*/100, /*end=*/101});
+  MetroWorld a(legacy);
+  MetroWorld b(dormant);
+  sim::ThreadPool pool(2);
+  for (int e = 0; e < 3; ++e) {
+    (void)a.run_epoch(pool);
+    const MetroEpochStats stats = b.run_epoch(pool);
+    EXPECT_EQ(stats.readers_down, 0u);
+    EXPECT_EQ(stats.tags_adopted, 0u);
+  }
+  EXPECT_EQ(a.state_fingerprint(), b.state_fingerprint());
+  EXPECT_EQ(a.stats().fingerprint(), b.stats().fingerprint());
+  EXPECT_EQ(b.monitor(), nullptr);
+}
+
+TEST(MetroWorld, MonitorSuspectsADownedReaderFromItsSilence) {
+  MetroConfig cfg = dense_config();
+  cfg.control_plane = true;
+  cfg.domains.domains.push_back(
+      resil::OutageDomain{0, 0, 0, 0, /*start=*/1, /*end=*/4});
+  MetroWorld world(cfg);
+  ASSERT_NE(world.monitor(), nullptr);
+  sim::ThreadPool pool(1);
+  (void)world.run_epoch(pool);  // Healthy epoch: everyone reports.
+  EXPECT_FALSE(world.monitor()->suspected(0));
+  const MetroEpochStats outage = world.run_epoch(pool);
+  EXPECT_EQ(outage.readers_down, 1u);
+  // One silent epoch against a clean history crosses phi >= 1.
+  EXPECT_TRUE(world.monitor()->suspected(0));
+  EXPECT_EQ(world.monitor()->suspected_since(0), 2u);
+}
+
+TEST(MetroWorld, SuspectedReadersTagsAreAdoptedByNeighbors) {
+  MetroConfig cfg = dense_config();
+  cfg.control_plane = true;
+  cfg.health.probe_interval_epochs = 4;
+  cfg.domains.domains.push_back(
+      resil::OutageDomain{0, 0, 0, 0, /*start=*/1, /*end=*/5});
+  MetroWorld world(cfg);
+  sim::ThreadPool pool(1);
+  (void)world.run_epoch(pool);                        // Healthy.
+  const MetroEpochStats first = world.run_epoch(pool);  // Down, unsuspected.
+  EXPECT_EQ(first.tags_adopted, 0u);
+  const MetroEpochStats second = world.run_epoch(pool);
+  // Suspected entering this epoch: skipped, and its tags re-homed to a
+  // neighbor 1 m away — inside the top rate tier, so they get read.
+  EXPECT_EQ(second.readers_suspected, 1u);
+  EXPECT_GT(second.tags_adopted, 0u);
+}
+
+TEST(MetroWorld, ControlPlaneEpochsAreThreadCountInvariant) {
+  MetroConfig cfg = dense_config();
+  cfg.control_plane = true;
+  cfg.domains.domains.push_back(
+      resil::OutageDomain{0, 0, 0, 0, /*start=*/1, /*end=*/3});
+  std::uint64_t ref_state = 0;
+  std::uint64_t ref_monitor = 0;
+  for (const int threads : {1, 2, 4}) {
+    MetroWorld world(cfg);
+    sim::ThreadPool pool(threads);
+    for (int e = 0; e < 5; ++e) (void)world.run_epoch(pool);
+    if (threads == 1) {
+      ref_state = world.state_fingerprint();
+      ref_monitor = world.monitor()->fingerprint();
+      continue;
+    }
+    EXPECT_EQ(world.state_fingerprint(), ref_state) << "threads=" << threads;
+    EXPECT_EQ(world.monitor()->fingerprint(), ref_monitor)
+        << "threads=" << threads;
+  }
+}
+
 }  // namespace
 }  // namespace mmtag::scale

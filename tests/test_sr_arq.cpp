@@ -8,6 +8,7 @@
 
 #include "src/mac/event_queue.hpp"
 #include "src/net/packet.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/sim/rng.hpp"
 
 namespace mmtag::net {
@@ -202,6 +203,27 @@ TEST(SrArq, EventDrivenSessionsInterleaveOnOneQueue) {
   EXPECT_EQ(done, 2);
   EXPECT_EQ(a.packets_delivered, 16);
   EXPECT_EQ(b.packets_delivered, 16);
+}
+
+TEST(SrArq, DropsAreMirroredToTheSrObsCounter) {
+  // DESIGN.md Sec. 15: selective-repeat drops land on their own registry
+  // counter ("net.arq.exhausted.sr"), distinct from the stop-and-wait
+  // session's, one bump per dropped packet.
+  auto& counter =
+      obs::Registry::instance().counter("net.arq.exhausted.sr");
+  const std::uint64_t before = counter.value();
+  SrArqConfig config = clean_config(4);
+  config.max_attempts_per_packet = 2;
+  SrArqSession session(config, {});
+  std::mt19937_64 rng = sim::make_rng(12);
+  const SrArqResult result = session.run(20, 0.0, rng);  // Dead channel.
+  EXPECT_EQ(result.packets_delivered, 0);
+  EXPECT_EQ(result.packets_dropped, 20);
+  if constexpr (obs::kObsEnabled) {
+    EXPECT_EQ(counter.value(), before + 20);
+  } else {
+    EXPECT_EQ(counter.value(), before);
+  }
 }
 
 }  // namespace
