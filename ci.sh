@@ -3,8 +3,9 @@
 # errors (test suite run twice: forced-scalar and auto SIMD dispatch), a
 # bench-smoke stage that exercises the JSON/compare pipeline plus the
 # kernel-backend determinism gate, an ASan+UBSan pass, chaos, traffic,
-# mesh, scale and resil smoke stages driving the fault, net, backhaul,
-# metro and control-plane benches under the sanitizers (plus a full-size
+# mesh, scale, resil and impair smoke stages driving the fault, net,
+# backhaul, metro, control-plane and impairment benches under the
+# sanitizers (plus a full-size
 # bench_d1_fleet compare gate for the SoA service rewire), a TSan pass
 # over the test suite for the health monitor's cross-thread record path,
 # and a docs stage (skipped with a notice when doxygen is absent).
@@ -55,7 +56,7 @@ cmake -B "${build_dir}" -S . \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build "${build_dir}" -j --target mmtag_tests bench_d1_fleet \
   bench_d2_chaos bench_n1_traffic bench_m1_mesh bench_d3_metro \
-  bench_r1_resil
+  bench_r1_resil bench_i1_impair
 # Both dispatch modes under the sanitizers: the SIMD loadu/storeu edge
 # handling is exactly where ASan earns its keep.
 for kern in scalar auto; do
@@ -143,6 +144,20 @@ echo "=== Resil smoke (control plane under ASan, JSON self-compare) ==="
   --compare "${out_dir}/BENCH_r1_resil.json" --threshold 1.0 > /dev/null
 echo "resil smoke OK: ${out_dir}/BENCH_r1_resil.json"
 
+echo "=== Impair smoke (impairment pipeline under ASan, JSON self-compare) ==="
+# bench_i1_impair front-loads the suite's three hard contracts — bypass
+# bit-identical to the legacy chain, and the all-stages-on sweep
+# bit-identical across {1,4,hw} threads and across the scalar/auto kern
+# backends (exit 1 on violation) — then measures the per-stage
+# BER/goodput deltas. Running it under the sanitizers exercises the four
+# new SIMD kernels' loadu/storeu edges and the per-stage derived-stream
+# draws; the JSON self-compare closes the mmtag.bench.v1 loop.
+"${build_dir}/bench/bench_i1_impair" --csv --warmup 0 --repeat 1 \
+  --json "${out_dir}/BENCH_i1_impair.json" > /dev/null
+"${build_dir}/bench/bench_i1_impair" --csv --warmup 0 --repeat 1 \
+  --compare "${out_dir}/BENCH_i1_impair.json" --threshold 1.0 > /dev/null
+echo "impair smoke OK: ${out_dir}/BENCH_i1_impair.json"
+
 echo "=== TSan build (monitor cross-thread snapshot path) ==="
 # HealthMonitor::record is the one API meant to be hit from parallel
 # workers while the coordinating thread later snapshots in end_epoch();
@@ -157,7 +172,7 @@ cmake --build "${build_dir}" -j --target mmtag_tests
 (cd "${build_dir}" && ctest --output-on-failure -j "$@")
 echo "TSan OK"
 
-echo "=== Docs (Doxygen, warnings fatal for src/kern src/obs src/fault) ==="
+echo "=== Docs (Doxygen, warnings fatal for src/kern src/obs src/fault src/impair) ==="
 # The Doxyfile sets WARN_AS_ERROR, so undocumented public members in the
 # covered directories fail this stage. Containers without doxygen skip it
 # with a notice rather than masquerading as a pass elsewhere.
@@ -168,4 +183,4 @@ else
   echo "docs SKIPPED: doxygen not installed on this host"
 fi
 
-echo "=== CI OK: Release + Debug (-Werror, scalar+auto), bench smoke, ASan+UBSan, chaos smoke, traffic smoke, mesh smoke, scale smoke, resil smoke, TSan, docs ==="
+echo "=== CI OK: Release + Debug (-Werror, scalar+auto), bench smoke, ASan+UBSan, chaos smoke, traffic smoke, mesh smoke, scale smoke, resil smoke, impair smoke, TSan, docs ==="

@@ -16,6 +16,7 @@
 
 #include "src/deploy/cell.hpp"
 #include "src/deploy/coordinator.hpp"
+#include "src/impair/config.hpp"
 #include "src/deploy/fleet_stats.hpp"
 #include "src/deploy/layout.hpp"
 #include "src/fault/engine.hpp"
@@ -49,6 +50,13 @@ struct FleetConfig {
   /// How the fleet fights back when `faults` is active (orphan re-handoff,
   /// restart cache invalidation; poll retry knobs live in cell.recovery).
   fault::RecoveryConfig recovery;
+  /// Front-end impairment decomposition (DESIGN.md Sec. 16): with any
+  /// stage enabled, every reader's opaque implementation_loss_db is
+  /// replaced by impair::decompose(impairments).total_db — calibrate
+  /// residual_db against the reader's 18 dB scalar (docs/IMPAIRMENTS.md,
+  /// worked example 2). All-off (default) builds the exact prototype
+  /// readers of the legacy fleet.
+  impair::ImpairmentConfig impairments{};
   /// Backhaul reachability hook (installed by mesh::BackhaulSimulator):
   /// maps this epoch's radio-live mask to the readers that can still reach
   /// a mesh gateway. Orphan re-handoff then avoids live-but-partitioned

@@ -1,0 +1,30 @@
+#include "src/impair/config.hpp"
+
+#include "src/impair/chain.hpp"
+#include "src/impair/loss.hpp"
+
+namespace mmtag::impair {
+
+ImpairmentConfig ImpairmentConfig::off() { return ImpairmentConfig{}; }
+
+ImpairmentConfig ImpairmentConfig::cmos_24ghz() {
+  ImpairmentConfig config;
+  config.phase_noise.enabled = true;
+  config.pa.enabled = true;
+  config.iq.enabled = true;
+  config.adc.enabled = true;
+  // Residual = the prototype's calibrated 14 dB implementation loss
+  // minus what the four stages explain at the 7 dB required SNR, so the
+  // decomposed total reproduces the legacy budget exactly
+  // (docs/IMPAIRMENTS.md, worked example 1).
+  config.residual_db = 0.0;
+  const LossReport modelled = decompose(config, 7.0);
+  config.residual_db = 14.0 - modelled.modelled_db;
+  return config;
+}
+
+bool ImpairmentConfig::any_enabled() const {
+  return phase_noise.enabled || pa.enabled || iq.enabled || adc.enabled;
+}
+
+}  // namespace mmtag::impair

@@ -1,0 +1,108 @@
+#include "src/impair/loss.hpp"
+
+#include <cmath>
+
+#include "src/impair/chain.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace mmtag::impair {
+
+double stage_loss_db(double evm_squared, double required_snr_db) {
+  if (evm_squared <= 0.0) {
+    return 0.0;
+  }
+  const double gamma = std::pow(10.0, required_snr_db / 10.0);
+  const double floor = gamma * evm_squared;
+  if (floor >= 1.0) {
+    return kFloorLossDb;
+  }
+  const double loss = -10.0 * std::log10(1.0 - floor);
+  return loss < kFloorLossDb ? loss : kFloorLossDb;
+}
+
+LossReport decompose(const ImpairmentConfig& config, double required_snr_db) {
+  const ImpairmentChain chain(config);
+  const double gamma = std::pow(10.0, required_snr_db / 10.0);
+
+  LossReport report;
+  report.required_snr_db = required_snr_db;
+  report.residual_db = config.residual_db;
+
+  double evm_total = 0.0;
+  for (const ImpairmentStage* stage : chain.stages()) {
+    StageLoss entry;
+    entry.stage = stage->name();
+    // Enablement is per-stage config; the chain skips disabled stages.
+    const bool enabled = (stage->name() == "pa" && config.pa.enabled) ||
+                         (stage->name() == "phase_noise" &&
+                          config.phase_noise.enabled) ||
+                         (stage->name() == "iq" && config.iq.enabled) ||
+                         (stage->name() == "adc" && config.adc.enabled);
+    entry.enabled = enabled;
+    if (enabled) {
+      entry.evm_squared = stage->evm_squared();
+      entry.loss_db = stage_loss_db(entry.evm_squared, required_snr_db);
+      entry.floor_limited = gamma * entry.evm_squared >= 1.0;
+      evm_total += entry.evm_squared;
+    }
+    report.stages.push_back(entry);
+  }
+
+  report.floor_limited = gamma * evm_total >= 1.0;
+  report.modelled_db = stage_loss_db(evm_total, required_snr_db);
+  report.total_db = report.modelled_db + report.residual_db;
+  return report;
+}
+
+void record(const LossReport& report) {
+  if constexpr (obs::kObsEnabled) {
+    auto& registry = obs::Registry::instance();
+    static obs::Counter& reports = registry.counter("impair.loss.reports");
+    reports.add();
+    for (const StageLoss& entry : report.stages) {
+      if (!entry.enabled) {
+        continue;
+      }
+      obs::Histogram* hist = nullptr;
+      if (entry.stage == "pa") {
+        static obs::Histogram& h = registry.histogram("impair.loss_mdb.pa");
+        hist = &h;
+      } else if (entry.stage == "phase_noise") {
+        static obs::Histogram& h =
+            registry.histogram("impair.loss_mdb.phase_noise");
+        hist = &h;
+      } else if (entry.stage == "iq") {
+        static obs::Histogram& h = registry.histogram("impair.loss_mdb.iq");
+        hist = &h;
+      } else {
+        static obs::Histogram& h = registry.histogram("impair.loss_mdb.adc");
+        hist = &h;
+      }
+      hist->record(entry.loss_db * 1000.0);
+    }
+    static obs::Histogram& modelled =
+        registry.histogram("impair.loss_mdb.modelled");
+    modelled.record(report.modelled_db * 1000.0);
+    static obs::Histogram& total = registry.histogram("impair.loss_mdb.total");
+    total.record(report.total_db * 1000.0);
+  } else {
+    (void)report;
+  }
+}
+
+phys::BackscatterLinkBudget impaired_budget(
+    const phys::BackscatterLinkBudget& base, const ImpairmentConfig& config,
+    double required_snr_db) {
+  // Bypass contract: an all-off config with no residual changes nothing
+  // and records nothing.
+  if (!config.any_enabled() && config.residual_db == 0.0) {
+    return base;
+  }
+  const LossReport report = decompose(config, required_snr_db);
+  record(report);
+  phys::BackscatterLinkBudget budget = base;
+  budget.implementation_loss_db = report.total_db;
+  return budget;
+}
+
+}  // namespace mmtag::impair

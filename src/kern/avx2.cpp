@@ -293,6 +293,117 @@ std::uint64_t count_below_avx2(const double* x, std::size_t n,
   return count;
 }
 
+void mul_complex_avx2(Complexd* x, const Complexd* c, std::size_t n) {
+  double* p = as_doubles(x);
+  const double* pc = as_doubles(c);
+  const std::size_t n2 = n & ~std::size_t{1};
+  for (std::size_t i = 0; i < n2; i += 2) {
+    _mm256_storeu_pd(p + 2 * i, cmul2(_mm256_loadu_pd(p + 2 * i),
+                                      _mm256_loadu_pd(pc + 2 * i)));
+  }
+  for (std::size_t i = n2; i < n; ++i) {
+    const double ar = x[i].real();
+    const double ai = x[i].imag();
+    const double br = c[i].real();
+    const double bi = c[i].imag();
+    x[i] = Complexd(ar * br - ai * bi, ai * br + ar * bi);
+  }
+}
+
+void iq_imbalance_avx2(Complexd* x, Complexd mu, Complexd nu,
+                       std::size_t n) {
+  double* p = as_doubles(x);
+  const __m256d muv = _mm256_setr_pd(mu.real(), mu.imag(), mu.real(),
+                                     mu.imag());
+  const __m256d nuv = _mm256_setr_pd(nu.real(), nu.imag(), nu.real(),
+                                     nu.imag());
+  const __m256d conj_mask = _mm256_setr_pd(0.0, -0.0, 0.0, -0.0);
+  const std::size_t n2 = n & ~std::size_t{1};
+  for (std::size_t i = 0; i < n2; i += 2) {
+    const __m256d v = _mm256_loadu_pd(p + 2 * i);
+    const __m256d m = cmul2(v, muv);
+    const __m256d w = cmul2(_mm256_xor_pd(v, conj_mask), nuv);
+    _mm256_storeu_pd(p + 2 * i, _mm256_add_pd(m, w));
+  }
+  for (std::size_t i = n2; i < n; ++i) {
+    const double re = x[i].real();
+    const double im = x[i].imag();
+    const double mr = re * mu.real() - im * mu.imag();
+    const double mi = im * mu.real() + re * mu.imag();
+    const double wr = re * nu.real() - (-im) * nu.imag();
+    const double wi = (-im) * nu.real() + re * nu.imag();
+    x[i] = Complexd(mr + wr, mi + wi);
+  }
+}
+
+void pa_rapp_avx2(Complexd* x, std::size_t n, double inv_sat2, double k_pm,
+                  double b_pm) {
+  double* p = as_doubles(x);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d isat = _mm256_set1_pd(inv_sat2);
+  const __m256d kv = _mm256_set1_pd(k_pm);
+  const __m256d bv = _mm256_set1_pd(b_pm);
+  const std::size_t n2 = n & ~std::size_t{1};
+  for (std::size_t i = 0; i < n2; i += 2) {
+    const __m256d v = _mm256_loadu_pd(p + 2 * i);
+    const __m256d sq = _mm256_mul_pd(v, v);
+    // hadd duplicates each complex's |x|^2 into its two lanes:
+    // [a2_0, a2_0, a2_1, a2_1]; addition commutes with the scalar
+    // re*re + im*im.
+    const __m256d a2 = _mm256_hadd_pd(sq, sq);
+    const __m256d u = _mm256_mul_pd(a2, isat);
+    const __m256d g = _mm256_div_pd(
+        one, _mm256_sqrt_pd(
+                 _mm256_sqrt_pd(_mm256_add_pd(one, _mm256_mul_pd(u, u)))));
+    const __m256d t = _mm256_div_pd(
+        _mm256_mul_pd(kv, a2), _mm256_add_pd(one, _mm256_mul_pd(bv, a2)));
+    const __m256d t2 = _mm256_mul_pd(t, t);
+    const __m256d iv = _mm256_div_pd(one, _mm256_add_pd(one, t2));
+    const __m256d cr = _mm256_mul_pd(_mm256_sub_pd(one, t2), iv);
+    const __m256d ci = _mm256_mul_pd(_mm256_add_pd(t, t), iv);
+    // Interleave [cr0, ci0, cr1, ci1] then rotate + compress.
+    const __m256d rot = _mm256_blend_pd(cr, ci, 0xA);
+    _mm256_storeu_pd(p + 2 * i, _mm256_mul_pd(cmul2(v, rot), g));
+  }
+  for (std::size_t i = n2; i < n; ++i) {
+    const double re = x[i].real();
+    const double im = x[i].imag();
+    const double a2 = re * re + im * im;
+    const double u = a2 * inv_sat2;
+    const double g = 1.0 / std::sqrt(std::sqrt(1.0 + u * u));
+    const double t = (k_pm * a2) / (1.0 + b_pm * a2);
+    const double iv = 1.0 / (1.0 + t * t);
+    const double cr = (1.0 - t * t) * iv;
+    const double ci = (t + t) * iv;
+    x[i] = Complexd((re * cr - im * ci) * g, (im * cr + re * ci) * g);
+  }
+}
+
+void adc_quantize_avx2(Complexd* x, std::size_t n, double clip, double step,
+                       double inv_step) {
+  double* p = as_doubles(x);
+  const __m256d clipv = _mm256_set1_pd(clip);
+  const __m256d nclipv = _mm256_set1_pd(-clip);
+  const __m256d stepv = _mm256_set1_pd(step);
+  const __m256d istepv = _mm256_set1_pd(inv_step);
+  const __m256d half = _mm256_set1_pd(0.5);
+  const std::size_t d = 2 * n;
+  const std::size_t d4 = d & ~std::size_t{3};
+  for (std::size_t i = 0; i < d4; i += 4) {
+    __m256d v = _mm256_loadu_pd(p + i);
+    v = _mm256_max_pd(_mm256_min_pd(v, clipv), nclipv);
+    const __m256d q =
+        _mm256_floor_pd(_mm256_add_pd(_mm256_mul_pd(v, istepv), half));
+    _mm256_storeu_pd(p + i, _mm256_mul_pd(q, stepv));
+  }
+  for (std::size_t i = d4; i < d; ++i) {
+    double v = p[i];
+    v = v > clip ? clip : v;
+    v = v < -clip ? -clip : v;
+    p[i] = std::floor(v * inv_step + 0.5) * step;
+  }
+}
+
 std::uint32_t fm0_decode_bytes_avx2(const std::uint8_t* chips,
                                     std::size_t nbits, std::uint8_t* bits) {
   // 32 chips (16 bits) per iteration: deinterleave first/second chips,
@@ -354,6 +465,10 @@ const Kernels* avx2_table() {
       &threshold_below_avx2,
       &squared_distance_avx2,
       &count_below_avx2,
+      &mul_complex_avx2,
+      &iq_imbalance_avx2,
+      &pa_rapp_avx2,
+      &adc_quantize_avx2,
       &fm0_decode_bytes_avx2,
       &crc16_bits_sliced,
   };

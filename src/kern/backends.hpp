@@ -39,6 +39,14 @@ void threshold_below(const double* stats, std::size_t n, double threshold,
 void squared_distance(const double* xs, const double* ys, double cx,
                       double cy, std::size_t n, double* out);
 std::uint64_t count_below(const double* x, std::size_t n, double threshold);
+void mul_complex(std::complex<double>* x, const std::complex<double>* c,
+                 std::size_t n);
+void iq_imbalance(std::complex<double>* x, std::complex<double> mu,
+                  std::complex<double> nu, std::size_t n);
+void pa_rapp(std::complex<double>* x, std::size_t n, double inv_sat2,
+             double k_pm, double b_pm);
+void adc_quantize(std::complex<double>* x, std::size_t n, double clip,
+                  double step, double inv_step);
 std::uint32_t fm0_decode_bytes(const std::uint8_t* chips, std::size_t nbits,
                                std::uint8_t* bits);
 std::uint16_t crc16_bits(const std::uint8_t* bytes, std::size_t nbits);

@@ -128,6 +128,41 @@ struct Kernels {
   std::uint64_t (*count_below)(const double* x, std::size_t n,
                                double threshold);
 
+  // --- Impairment stages (src/impair receive-chain realism). ---
+
+  /// Elementwise complex Hadamard product `x[i] *= c[i]` with the
+  /// specified complex-multiply formula. Applies precomputed unit-norm
+  /// rotation trajectories (oscillator phase noise) without transcendental
+  /// functions in the kernel, so backends stay bit-identical.
+  void (*mul_complex)(std::complex<double>* x, const std::complex<double>* c,
+                      std::size_t n);
+
+  /// Receive-side IQ imbalance `x[i] = mu*x[i] + nu*conj(x[i])` with both
+  /// products expanded by the specified complex-multiply formula and the
+  /// two results added componentwise (mu-product first).
+  void (*iq_imbalance)(std::complex<double>* x, std::complex<double> mu,
+                       std::complex<double> nu, std::size_t n);
+
+  /// Rapp PA (smoothness p = 2) with a rational tangent-half-angle AM/PM
+  /// rotation. Per element, with `a2 = re*re + im*im`:
+  ///   u  = a2 * inv_sat2;            g = 1 / sqrt(sqrt(1 + u*u));
+  ///   t  = (k_pm * a2) / (1 + b_pm * a2);
+  ///   iv = 1 / (1 + t*t);  cr = (1 - t*t) * iv;  ci = (t + t) * iv;
+  ///   x  = (cmul(x, (cr, ci)).re * g, cmul(x, (cr, ci)).im * g).
+  /// Only +,-,*,/ and sqrt (all exactly rounded), so SIMD lanes reproduce
+  /// the scalar bits. The rotation angle is 2*atan(t) by construction —
+  /// see src/impair/stages.hpp for the calibration story.
+  void (*pa_rapp)(std::complex<double>* x, std::size_t n, double inv_sat2,
+                  double k_pm, double b_pm);
+
+  /// Mid-tread ADC: per real component (2n doubles),
+  ///   v = v > clip ? clip : v;  v = v < -clip ? -clip : v;
+  ///   v = floor(v * inv_step + 0.5) * step.
+  /// floor rounds toward -inf in every backend (vroundpd); inputs are
+  /// finite baseband samples (no NaN contract).
+  void (*adc_quantize)(std::complex<double>* x, std::size_t n, double clip,
+                       double step, double inv_step);
+
   /// Branch-free FM0 decode of `2*nbits` chip bytes (0/1 each) into
   /// `nbits` bit bytes. Returns 1 when the chip stream is a valid FM0
   /// sequence from the idle-high convention (every bit boundary

@@ -24,6 +24,10 @@ const Kernels* neon_table() {
       &scalar::threshold_below,
       &scalar::squared_distance,
       &scalar::count_below,
+      &scalar::mul_complex,
+      &scalar::iq_imbalance,
+      &scalar::pa_rapp,
+      &scalar::adc_quantize,
       &scalar::fm0_decode_bytes,
       &scalar::crc16_bits,
   };

@@ -202,6 +202,46 @@ std::uint64_t count_below(const double* x, std::size_t n, double threshold) {
   return count;
 }
 
+void mul_complex(Complexd* x, const Complexd* c, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = cmul(x[i], c[i]);
+}
+
+void iq_imbalance(Complexd* x, Complexd mu, Complexd nu, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Complexd m = cmul(x[i], mu);
+    const Complexd v = cmul(Complexd(x[i].real(), -x[i].imag()), nu);
+    x[i] = Complexd(m.real() + v.real(), m.imag() + v.imag());
+  }
+}
+
+void pa_rapp(Complexd* x, std::size_t n, double inv_sat2, double k_pm,
+             double b_pm) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double re = x[i].real();
+    const double im = x[i].imag();
+    const double a2 = re * re + im * im;
+    const double u = a2 * inv_sat2;
+    const double g = 1.0 / std::sqrt(std::sqrt(1.0 + u * u));
+    const double t = (k_pm * a2) / (1.0 + b_pm * a2);
+    const double iv = 1.0 / (1.0 + t * t);
+    const double cr = (1.0 - t * t) * iv;
+    const double ci = (t + t) * iv;
+    x[i] = Complexd((re * cr - im * ci) * g, (im * cr + re * ci) * g);
+  }
+}
+
+void adc_quantize(Complexd* x, std::size_t n, double clip, double step,
+                  double inv_step) {
+  double* p = reinterpret_cast<double*>(x);
+  const std::size_t d = 2 * n;
+  for (std::size_t i = 0; i < d; ++i) {
+    double v = p[i];
+    v = v > clip ? clip : v;
+    v = v < -clip ? -clip : v;
+    p[i] = std::floor(v * inv_step + 0.5) * step;
+  }
+}
+
 std::uint32_t fm0_decode_bytes(const std::uint8_t* chips, std::size_t nbits,
                                std::uint8_t* bits) {
   std::uint8_t ok = 1;
@@ -275,6 +315,10 @@ const Kernels* scalar_table() {
       &scalar::threshold_below,
       &scalar::squared_distance,
       &scalar::count_below,
+      &scalar::mul_complex,
+      &scalar::iq_imbalance,
+      &scalar::pa_rapp,
+      &scalar::adc_quantize,
       &scalar::fm0_decode_bytes,
       &scalar::crc16_bits,
   };

@@ -261,6 +261,74 @@ std::uint64_t count_below_sse42(const double* x, std::size_t n,
   return count;
 }
 
+void mul_complex_sse42(Complexd* x, const Complexd* c, std::size_t n) {
+  double* p = as_doubles(x);
+  const double* pc = as_doubles(c);
+  for (std::size_t i = 0; i < n; ++i) {
+    _mm_storeu_pd(p + 2 * i,
+                  cmul1(_mm_loadu_pd(p + 2 * i), _mm_loadu_pd(pc + 2 * i)));
+  }
+}
+
+void iq_imbalance_sse42(Complexd* x, Complexd mu, Complexd nu,
+                        std::size_t n) {
+  double* p = as_doubles(x);
+  const __m128d muv = _mm_setr_pd(mu.real(), mu.imag());
+  const __m128d nuv = _mm_setr_pd(nu.real(), nu.imag());
+  const __m128d conj_mask = _mm_setr_pd(0.0, -0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const __m128d v = _mm_loadu_pd(p + 2 * i);
+    const __m128d m = cmul1(v, muv);
+    const __m128d w = cmul1(_mm_xor_pd(v, conj_mask), nuv);
+    _mm_storeu_pd(p + 2 * i, _mm_add_pd(m, w));
+  }
+}
+
+void pa_rapp_sse42(Complexd* x, std::size_t n, double inv_sat2, double k_pm,
+                   double b_pm) {
+  double* p = as_doubles(x);
+  const __m128d one = _mm_set1_pd(1.0);
+  const __m128d isat = _mm_set1_pd(inv_sat2);
+  const __m128d kv = _mm_set1_pd(k_pm);
+  const __m128d bv = _mm_set1_pd(b_pm);
+  for (std::size_t i = 0; i < n; ++i) {
+    const __m128d v = _mm_loadu_pd(p + 2 * i);
+    const __m128d sq = _mm_mul_pd(v, v);
+    // [im^2 + re^2, ...] in both lanes — addition commutes, so identical
+    // to the scalar re*re + im*im.
+    const __m128d a2 = _mm_hadd_pd(sq, sq);
+    const __m128d u = _mm_mul_pd(a2, isat);
+    const __m128d g = _mm_div_pd(
+        one, _mm_sqrt_pd(_mm_sqrt_pd(_mm_add_pd(one, _mm_mul_pd(u, u)))));
+    const __m128d t = _mm_div_pd(_mm_mul_pd(kv, a2),
+                                 _mm_add_pd(one, _mm_mul_pd(bv, a2)));
+    const __m128d t2 = _mm_mul_pd(t, t);
+    const __m128d iv = _mm_div_pd(one, _mm_add_pd(one, t2));
+    const __m128d cr = _mm_mul_pd(_mm_sub_pd(one, t2), iv);
+    const __m128d ci = _mm_mul_pd(_mm_add_pd(t, t), iv);
+    // Rotation coefficient (cr, ci) then the uniform compression g.
+    const __m128d rot = _mm_unpacklo_pd(cr, ci);
+    _mm_storeu_pd(p + 2 * i, _mm_mul_pd(cmul1(v, rot), g));
+  }
+}
+
+void adc_quantize_sse42(Complexd* x, std::size_t n, double clip, double step,
+                        double inv_step) {
+  double* p = as_doubles(x);
+  const __m128d clipv = _mm_set1_pd(clip);
+  const __m128d nclipv = _mm_set1_pd(-clip);
+  const __m128d stepv = _mm_set1_pd(step);
+  const __m128d istepv = _mm_set1_pd(inv_step);
+  const __m128d half = _mm_set1_pd(0.5);
+  const std::size_t d = 2 * n;
+  for (std::size_t i = 0; i < d; i += 2) {
+    __m128d v = _mm_loadu_pd(p + i);
+    v = _mm_max_pd(_mm_min_pd(v, clipv), nclipv);
+    const __m128d q = _mm_floor_pd(_mm_add_pd(_mm_mul_pd(v, istepv), half));
+    _mm_storeu_pd(p + i, _mm_mul_pd(q, stepv));
+  }
+}
+
 std::uint32_t fm0_decode_bytes_sse42(const std::uint8_t* chips,
                                      std::size_t nbits, std::uint8_t* bits) {
   // 16 chips (8 bits) per iteration; the byte lanes continue in 64-bit
@@ -314,6 +382,10 @@ const Kernels* sse42_table() {
       &threshold_below_sse42,
       &squared_distance_sse42,
       &count_below_sse42,
+      &mul_complex_sse42,
+      &iq_imbalance_sse42,
+      &pa_rapp_sse42,
+      &adc_quantize_sse42,
       &fm0_decode_bytes_sse42,
       &crc16_bits_sliced,
   };

@@ -71,6 +71,17 @@ ReceiveResult ReceiveChain::receive(
   return result;
 }
 
+ReceiveResult ReceiveChain::receive_impaired(
+    std::span<const phy::Complex> samples, const impair::ImpairmentChain& chain,
+    std::uint64_t seed) const {
+  if (!chain.enabled()) {
+    return receive(samples);
+  }
+  phy::Waveform impaired(samples.begin(), samples.end());
+  chain.apply_rx(impaired, seed);
+  return receive(impaired);
+}
+
 std::vector<ReceiveResult> ReceiveChain::receive_stream(
     std::span<const phy::Complex> stream) const {
   phy::SyncConfig sync_config;

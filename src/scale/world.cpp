@@ -6,6 +6,7 @@
 #include <limits>
 #include <vector>
 
+#include "src/impair/loss.hpp"
 #include "src/obs/stats.hpp"
 #include "src/phy/rate_table.hpp"
 #include "src/sim/rng.hpp"
@@ -52,8 +53,9 @@ struct MetroWorld::ReaderResult {
 MetroWorld::MetroWorld(const MetroConfig& config)
     : config_(config),
       index_(config.width_m, config.height_m, config.index_cell_m),
-      model_(BatchLinkModel::from_budget(config.budget,
-                                         phy::RateTable::mmtag_standard())) {
+      model_(BatchLinkModel::from_budget(
+          impair::impaired_budget(config.budget, config.impairments),
+          phy::RateTable::mmtag_standard())) {
   assert(config.readers_x > 0 && config.readers_y > 0);
   detect_range_m_ = std::sqrt(model_.detect_r2_m2);
   gather_radius_m_ = std::max(detect_range_m_, config.interference_radius_m);

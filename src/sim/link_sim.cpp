@@ -26,7 +26,8 @@ obs::Counter& link_frames_metric() {
 
 }  // namespace
 
-MonteCarloLink::MonteCarloLink(Params params) : params_(params) {
+MonteCarloLink::MonteCarloLink(Params params)
+    : params_(params), chain_(params.impairments) {
   assert(params_.samples_per_symbol >= 1);
   assert(params_.block_bits >= 2);
 }
@@ -58,16 +59,28 @@ BerMeasurement MonteCarloLink::measure_ber(double snr_db,
     for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = coin(rng);
 
     phy::Waveform wave = mod.modulate(bits);
+    // One impairment seed per block, drawn from the point's stream only
+    // when impairments are on — bypass leaves the legacy stream intact.
+    std::uint64_t block_seed = 0;
+    if (chain_.enabled()) {
+      block_seed = rng();
+      chain_.apply_tx(wave, block_seed);
+    }
     // snr_db is the per-SYMBOL average SNR (the convention of ber.hpp's
     // closed forms). The integrate-and-dump filter averages
     // samples_per_symbol noise samples, so the per-sample noise must be
-    // that factor larger to land at the requested symbol SNR.
+    // that factor larger to land at the requested symbol SNR. Signal
+    // power is measured after the TX-side stages (PA compression is a
+    // real power loss, not extra noise).
     const double signal_power = phy::mean_power(wave);
     assert(signal_power > 0.0);
     const double per_sample_noise =
         phy::noise_power_for_snr(signal_power, snr_db) *
         params_.samples_per_symbol;
     phy::add_awgn(wave, per_sample_noise, rng);
+    if (chain_.enabled()) {
+      chain_.apply_rx(wave, block_seed);
+    }
 
     const phy::BitVector decoded = demod.demodulate(wave);
     measurement.bit_errors += phy::hamming_distance(bits, decoded);
@@ -98,6 +111,13 @@ FerMeasurement MonteCarloLink::run_fer(double snr_db, int frames,
     for (std::size_t i = 0; i < payload_bits; ++i) frame.payload[i] = coin(rng);
 
     phy::Waveform wave = chain.encode(frame, params_.modulation_depth_db);
+    // Same per-block seeding discipline as measure_ber: one draw per
+    // frame, only when impairments are on.
+    std::uint64_t frame_seed = 0;
+    if (chain_.enabled()) {
+      frame_seed = rng();
+      chain_.apply_tx(wave, frame_seed);
+    }
     const double signal_power = phy::mean_power(wave);
     // Same per-symbol SNR convention as measure_ber.
     phy::add_awgn(wave,
@@ -105,7 +125,9 @@ FerMeasurement MonteCarloLink::run_fer(double snr_db, int frames,
                       params_.samples_per_symbol,
                   rng);
 
-    const reader::ReceiveResult result = chain.receive(wave);
+    const reader::ReceiveResult result =
+        chain_.enabled() ? chain.receive_impaired(wave, chain_, frame_seed)
+                         : chain.receive(wave);
     if (!result.frame.has_value() || !(*result.frame == frame)) ++failures;
   }
   return FerMeasurement{frames, failures};

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "src/impair/chain.hpp"
 #include "src/phy/ook.hpp"
 #include "src/reader/receive_chain.hpp"
 #include "src/sim/parallel.hpp"
@@ -76,6 +77,11 @@ class MonteCarloLink {
     std::size_t target_bit_errors = 100;
     /// Hard cap on bits per point; 0 selects 10 * min_bits.
     std::size_t max_bits = 0;
+    /// Hardware-impairment stages (DESIGN.md Sec. 16). TX-side stages
+    /// run before the AWGN channel, RX-side stages after it, each block
+    /// / frame under its own derived seed. The default (all off) is the
+    /// bypass mode: no RNG draws, bit-identical to the legacy chain.
+    impair::ImpairmentConfig impairments{};
   };
 
   explicit MonteCarloLink(Params params);
@@ -125,6 +131,11 @@ class MonteCarloLink {
 
   [[nodiscard]] const Params& params() const { return params_; }
 
+  /// The impairment pipeline built from Params::impairments.
+  [[nodiscard]] const impair::ImpairmentChain& impairments() const {
+    return chain_;
+  }
+
   /// Effective per-point bit cap (resolves the max_bits = 0 default).
   [[nodiscard]] std::size_t effective_max_bits() const;
 
@@ -135,6 +146,7 @@ class MonteCarloLink {
                                        std::mt19937_64& rng) const;
 
   Params params_;
+  impair::ImpairmentChain chain_;
 };
 
 }  // namespace mmtag::sim

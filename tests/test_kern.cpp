@@ -328,6 +328,62 @@ TEST(KernEquivalence, CountBelowBitIdentical) {
   }
 }
 
+// The impairment kernels (src/impair) are elementwise with no
+// reductions and only exactly-rounded ops (+,-,*,/,sqrt,floor), so the
+// contract is exact bit identity across backends — not just ULP
+// closeness. test_impair.cpp covers the end-to-end discipline; this is
+// the kernel-level matrix.
+TEST(KernEquivalence, ImpairmentKernelsBitIdentical) {
+  const Kernels& scalar = mmtag::kern::table(Backend::kScalar);
+  for (const Backend backend : accelerated_backends()) {
+    const Kernels& accel = mmtag::kern::table(backend);
+    for (const std::size_t n : kLengths) {
+      const auto x = random_complex(n, 301 + n);
+      const auto c = random_complex(n, 307 + n);
+
+      auto mul_s = x;
+      Unaligned<Complexd> mul_a(x);
+      const Unaligned<Complexd> uc(c);
+      scalar.mul_complex(mul_s.data(), c.data(), n);
+      accel.mul_complex(mul_a.data(), uc.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(mul_s[i], mul_a.data()[i]) << "mul_complex[" << i
+                                             << "] length " << n;
+      }
+
+      const Complexd mu(0.993, 0.021);
+      const Complexd nu(-0.034, 0.027);
+      auto iq_s = x;
+      Unaligned<Complexd> iq_a(x);
+      scalar.iq_imbalance(iq_s.data(), mu, nu, n);
+      accel.iq_imbalance(iq_a.data(), mu, nu, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(iq_s[i], iq_a.data()[i]) << "iq_imbalance[" << i
+                                           << "] length " << n;
+      }
+
+      auto pa_s = x;
+      Unaligned<Complexd> pa_a(x);
+      scalar.pa_rapp(pa_s.data(), n, 0.2512, 0.0139, 0.2512);
+      accel.pa_rapp(pa_a.data(), n, 0.2512, 0.0139, 0.2512);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(pa_s[i], pa_a.data()[i]) << "pa_rapp[" << i << "] length "
+                                           << n;
+      }
+
+      auto adc_s = x;
+      Unaligned<Complexd> adc_a(x);
+      const double step = 2.0 * 0.75 / 64.0;
+      scalar.adc_quantize(adc_s.data(), n, 0.75, step, 1.0 / step);
+      accel.adc_quantize(adc_a.data(), n, 0.75, step, 1.0 / step);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(adc_s[i], adc_a.data()[i]) << "adc_quantize[" << i
+                                             << "] length " << n;
+      }
+    }
+  }
+}
+
 TEST(KernEquivalence, Fm0DecodeBitIdentical) {
   const Kernels& scalar = mmtag::kern::table(Backend::kScalar);
   for (const Backend backend : accelerated_backends()) {
